@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+it (visible with ``pytest -s``), and writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+exact produced artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Deep Gradient Compression study (Fig 4 / Table IV protocol).
+
+Shows both halves of the DGC trade-off on ASP:
+
+1. throughput — timing-only runs of full-size VGG-16 on the 10 Gbps
+   fabric, with and without DGC (the bandwidth-starved case where the
+   paper finds DGC most effective);
+2. accuracy — full-mode mini runs with and without DGC, checking
+   accuracy-neutrality (paper Table IV).
+
+Usage::
+
+    python examples/gradient_compression.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import mini_accuracy_config, mini_dgc_config, timing_config
+
+
+def main() -> None:
+    # -- throughput ----------------------------------------------------
+    print("Measuring VGG-16 throughput on 10 Gbps with 16 workers...")
+    rows = []
+    for dgc in (False, True):
+        cfg = timing_config(
+            "asp",
+            num_workers=16,
+            bandwidth_gbps=10,
+            model="vgg16",
+            measure_iters=10,
+            dgc=dgc,
+        )
+        runner = DistributedRunner(cfg)
+        res = runner.run()
+        rows.append(
+            [
+                "with DGC" if dgc else "dense",
+                res.throughput,
+                runner.runtime.ctx.network.total_bytes / 1e9,
+            ]
+        )
+    print(
+        format_table(
+            ["gradients", "throughput (img/s)", "network traffic (GB)"],
+            rows,
+            title="\nASP / VGG-16 / 10 Gbps / 16 workers",
+            float_format="{:.1f}",
+        )
+    )
+    speedup = rows[1][1] / rows[0][1]
+    compression = rows[0][2] / rows[1][2]
+    print(f"\nDGC: {compression:.0f}x less traffic, {speedup:.2f}x higher throughput")
+
+    # -- accuracy -------------------------------------------------------
+    print("\nChecking accuracy neutrality (mini-scale Table IV protocol)...")
+    acc_rows = []
+    for dgc in (False, True):
+        cfg = mini_accuracy_config(
+            "asp",
+            num_workers=8,
+            epochs=15.0,
+            dgc=dgc,
+            dgc_config=mini_dgc_config(8) if dgc else None,
+        )
+        history = DistributedRunner(cfg).run()
+        acc_rows.append(["with DGC" if dgc else "dense", history.final_test_accuracy])
+    print(
+        format_table(
+            ["gradients", "final test accuracy"],
+            acc_rows,
+            title="\nASP accuracy with and without DGC (8 workers, 15 epochs)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Result aggregation and paper-style report rendering."""
+
+from repro.analysis.tables import format_table, render_accuracy_table
+from repro.analysis.breakdown import breakdown_table, normalize_breakdown
+from repro.analysis.scalability import (
+    ideal_single_worker_throughput,
+    speedup_series,
+    crossover_points,
+)
+
+__all__ = [
+    "format_table",
+    "render_accuracy_table",
+    "normalize_breakdown",
+    "breakdown_table",
+    "ideal_single_worker_throughput",
+    "speedup_series",
+    "crossover_points",
+]

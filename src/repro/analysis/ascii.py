@@ -1,0 +1,118 @@
+"""ASCII line charts — render the paper's figures in a terminal.
+
+No plotting dependency is available offline, so the CLI draws Fig 1
+(error curves) and Fig 2 (speedup curves) as character grids. These
+are deliberately small (fits an 80-column terminal) and lossy; the
+exact series live in the JSON results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "fig1_chart", "fig2_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot named (x, y) series on one character grid.
+
+    Each series gets a mark from ``o x + * …``; collisions keep the
+    first-drawn mark. Axes are annotated with min/max values.
+    """
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_min:.3g}"
+        + f"{x_label} → {x_max:.3g}".rjust(width - len(f"{x_min:.3g}"))
+    )
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, series.keys())
+    )
+    lines.append(f"{' ' * label_width}  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def fig1_chart(series: Mapping[str, Mapping[str, Sequence[float]]]) -> str:
+    """Fig 1(a,b) as two ASCII charts from ``fig1_series`` output."""
+    by_epoch = {
+        algo.upper(): list(zip(s["epochs"], s["errors"])) for algo, s in series.items()
+    }
+    by_time = {
+        algo.upper(): list(zip(s["times"], s["errors"])) for algo, s in series.items()
+    }
+    return (
+        line_chart(
+            by_epoch,
+            title="Fig 1(a) — top-1 error vs epochs",
+            x_label="epochs",
+            y_label="error",
+        )
+        + "\n\n"
+        + line_chart(
+            by_time,
+            title="Fig 1(b) — top-1 error vs virtual time",
+            x_label="secs",
+            y_label="error",
+        )
+    )
+
+
+def fig2_chart(result) -> str:
+    """Fig 2 as one ASCII chart per bandwidth (expects a
+    :class:`~repro.experiments.scalability.ScalabilityResult`)."""
+    blocks = []
+    for bw in result.bandwidths:
+        series = {
+            algo.upper(): result.series(algo, bw) for algo in result.speedup
+        }
+        blocks.append(
+            line_chart(
+                series,
+                title=f"Fig 2 — {result.model} speedup @ {bw:g} Gbps",
+                x_label="workers",
+                y_label="speedup",
+            )
+        )
+    return "\n\n".join(blocks)

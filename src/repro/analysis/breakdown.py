@@ -1,0 +1,39 @@
+"""Fig 3 time-breakdown aggregation."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.tables import format_table
+
+__all__ = ["normalize_breakdown", "breakdown_table", "MAIN_PHASES"]
+
+MAIN_PHASES = ("compute", "local_agg", "global_agg", "comm")
+
+
+def normalize_breakdown(breakdown: Mapping[str, float]) -> dict[str, float]:
+    """Restrict to the paper's four Fig 3 categories, normalised to 1.
+
+    ``agg_wait`` is a sub-component of the aggregation phases (the
+    paper reports it as a percentage *of* aggregation, not a separate
+    bar) and is therefore excluded here.
+    """
+    main = {p: float(breakdown.get(p, 0.0)) for p in MAIN_PHASES}
+    total = sum(main.values())
+    if total <= 0:
+        return {p: 0.0 for p in MAIN_PHASES}
+    return {p: v / total for p, v in main.items()}
+
+
+def breakdown_table(
+    rows: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "Per-iteration time breakdown",
+) -> str:
+    """Render one breakdown row per configuration (Fig 3 as a table)."""
+    headers = ["config", *MAIN_PHASES]
+    table_rows: list[Sequence[object]] = []
+    for name, bd in rows.items():
+        norm = normalize_breakdown(bd)
+        table_rows.append([name, *(norm[p] for p in MAIN_PHASES)])
+    return format_table(headers, table_rows, title=title, float_format="{:.3f}")

@@ -1,0 +1,53 @@
+"""Fig 2 scalability analysis helpers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.history import ThroughputResult
+from repro.nn.zoo import ModelProfile
+from repro.sim.cluster import GPUSpec
+
+__all__ = ["ideal_single_worker_throughput", "speedup_series", "crossover_points"]
+
+
+def ideal_single_worker_throughput(
+    profile: ModelProfile, batch_size: int, gpu: GPUSpec
+) -> float:
+    """Images/second of one GPU with zero communication — the paper's
+    normalisation baseline ("the throughput of a single worker")."""
+    iteration_time = profile.train_flops * batch_size / gpu.effective_flops
+    return batch_size / iteration_time
+
+
+def speedup_series(
+    results: Sequence[ThroughputResult], baseline_throughput: float
+) -> list[tuple[int, float]]:
+    """(num_workers, speedup) pairs sorted by worker count."""
+    if baseline_throughput <= 0:
+        raise ValueError("baseline throughput must be positive")
+    pairs = [(r.num_workers, r.throughput / baseline_throughput) for r in results]
+    return sorted(pairs)
+
+
+def crossover_points(
+    series_a: Sequence[tuple[int, float]], series_b: Sequence[tuple[int, float]]
+) -> list[int]:
+    """Worker counts where the faster of two algorithms flips.
+
+    Used to locate findings like "ASP is slower than BSP at 10 Gbps but
+    faster at 56 Gbps" in the measured curves.
+    """
+    a = dict(series_a)
+    b = dict(series_b)
+    common = sorted(set(a) & set(b))
+    flips: list[int] = []
+    prev_sign = None
+    for n in common:
+        diff = a[n] - b[n]
+        sign = 0 if diff == 0 else (1 if diff > 0 else -1)
+        if prev_sign is not None and sign != 0 and prev_sign != 0 and sign != prev_sign:
+            flips.append(n)
+        if sign != 0:
+            prev_sign = sign
+    return flips

@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2 [--workers 24] [--epochs 30] [--seeds 0,1]
+    python -m repro run table3
+    python -m repro run table4
+    python -m repro run fig1
+    python -m repro run fig2 [--model resnet50|vgg16]
+    python -m repro run fig3
+    python -m repro run fig4 [--model resnet50] [--bandwidth 10]
+    python -m repro train bsp --workers 8 --epochs 10
+
+Every ``run`` prints the paper-style table and, with ``--output FILE``,
+also writes the structured result as JSON (see :mod:`repro.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.io import save_json
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Ko et al., IPDPS 2021.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and algorithms")
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", choices=EXPERIMENTS)
+    run.add_argument("--workers", type=int, default=None, help="worker count (accuracy experiments)")
+    run.add_argument("--epochs", type=float, default=None, help="training epochs (accuracy experiments)")
+    run.add_argument("--seeds", type=str, default="0", help="comma-separated seeds")
+    run.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
+    run.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (fig4)")
+    run.add_argument("--iters", type=int, default=None, help="measured iterations (timing experiments)")
+    run.add_argument("--output", type=str, default=None, help="write JSON result here")
+
+    train = sub.add_parser("train", help="train one algorithm and print its history")
+    train.add_argument("algorithm")
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--epochs", type=float, default=10.0)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--fabric", choices=("10g", "56g"), default="56g")
+    train.add_argument("--output", type=str, default=None)
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> tuple[str, Any]:
+    """Dispatch to the experiment drivers; returns (rendered, result)."""
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    acc_kwargs: dict[str, Any] = {"seeds": seeds}
+    if args.workers is not None:
+        acc_kwargs["num_workers"] = args.workers
+    if args.epochs is not None:
+        acc_kwargs["epochs"] = args.epochs
+
+    if args.experiment == "table1":
+        from repro.analysis.tables import format_table
+        from repro.core.complexity import table1_rows
+
+        rows = table1_rows()
+        text = format_table(
+            ["name", "category", "convergence rate", "comm complexity"],
+            [[r["name"], r["category"], r["convergence_rate"], r["comm_complexity"]] for r in rows],
+            title="Table I — summary of distributed training algorithms",
+        )
+        return text, rows
+    if args.experiment == "table2":
+        from repro.experiments.accuracy import run_table2
+
+        result = run_table2(**acc_kwargs)
+        return result.render(), result
+    if args.experiment == "table3":
+        from repro.experiments.sensitivity import run_table3
+
+        kwargs = {"seeds": seeds}
+        if args.epochs is not None:
+            kwargs["epochs"] = args.epochs
+        result = run_table3(**kwargs)
+        return result.render(), result
+    if args.experiment == "table4":
+        from repro.experiments.accuracy import run_table4
+
+        result = run_table4(**acc_kwargs)
+        return result.render(), result
+    if args.experiment == "fig1":
+        from repro.analysis.ascii import fig1_chart
+        from repro.experiments.accuracy import fig1_series, run_table2
+
+        result = run_table2(fabric="56g", **acc_kwargs)
+        series = fig1_series(result)
+        return fig1_chart(series), series
+    if args.experiment == "fig2":
+        from repro.analysis.ascii import fig2_chart
+        from repro.experiments.scalability import run_fig2
+
+        kwargs: dict[str, Any] = {"model": args.model}
+        if args.iters is not None:
+            kwargs["measure_iters"] = args.iters
+        result = run_fig2(**kwargs)
+        return result.render() + "\n\n" + fig2_chart(result), result
+    if args.experiment == "fig3":
+        from repro.experiments.scalability import run_fig3
+
+        kwargs = {}
+        if args.iters is not None:
+            kwargs["measure_iters"] = args.iters
+        result = run_fig3(**kwargs)
+        return result.render(), result
+    if args.experiment == "fig4":
+        from repro.experiments.optimizations import run_fig4
+
+        kwargs = {"model": args.model, "bandwidth_gbps": args.bandwidth}
+        if args.iters is not None:
+            kwargs["measure_iters"] = args.iters
+        result = run_fig4(**kwargs)
+        return result.render(), result
+    raise ValueError(f"unknown experiment {args.experiment!r}")  # pragma: no cover
+
+
+def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
+    from repro.analysis.tables import format_table
+    from repro.core.runner import DistributedRunner
+    from repro.experiments.config import mini_accuracy_config
+    from repro.io import history_to_dict
+
+    cfg = mini_accuracy_config(
+        args.algorithm,
+        num_workers=args.workers,
+        epochs=args.epochs,
+        seed=args.seed,
+        fabric=args.fabric,
+    )
+    history = DistributedRunner(cfg).run()
+    rows = [
+        [round(e, 2), round(t, 1), acc]
+        for e, t, acc in zip(history.epochs, history.times, history.test_accuracy)
+    ]
+    text = format_table(
+        ["epoch", "virtual secs", "test accuracy"],
+        rows,
+        title=f"{history.algorithm} — {args.workers} workers",
+    )
+    text += f"\nfinal accuracy: {history.final_test_accuracy:.4f}"
+    return text, history_to_dict(history)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        from repro.core import ALGORITHMS
+
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
+        return 0
+    if args.command == "run":
+        text, result = _run_experiment(args)
+    else:
+        text, result = _run_train(args)
+    print(text)
+    if args.output:
+        path = save_json(result, args.output)
+        print(f"\n[result written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

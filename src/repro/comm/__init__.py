@@ -1,0 +1,39 @@
+"""Communication substrate on top of the simulator.
+
+Mirrors the paper's MPICH/TF-PS wire layer:
+
+* :mod:`repro.comm.messages` / :mod:`repro.comm.endpoints` — typed
+  messages between :class:`~repro.comm.endpoints.Node` endpoints, with
+  per-kind FIFO mailboxes (in-order delivery per sender pair, as TCP
+  and MPI both guarantee);
+* :mod:`repro.comm.ps` — parameter-server shard processes, the basis
+  of BSP/ASP/SSP/EASGD;
+* :mod:`repro.comm.collectives` — AllReduce as reduce-scatter +
+  allgather (ring schedule), the MPICH algorithm the paper uses for
+  AR-SGD;
+* :mod:`repro.comm.gossip` — GoSGD's weighted asymmetric push-gossip
+  exchange rule;
+* :mod:`repro.comm.pairwise` — AD-PSGD's bipartite active/passive
+  symmetric exchange with the deadlock-freedom argument checked via
+  :mod:`networkx`.
+"""
+
+from repro.comm.messages import Message
+from repro.comm.endpoints import CommContext, Node
+from repro.comm.collectives import ring_allreduce_plan, ring_neighbors
+from repro.comm.gossip import GossipState, gossip_merge, gossip_send_share
+from repro.comm.pairwise import bipartite_split, build_exchange_graph, verify_deadlock_free
+
+__all__ = [
+    "Message",
+    "Node",
+    "CommContext",
+    "ring_allreduce_plan",
+    "ring_neighbors",
+    "GossipState",
+    "gossip_merge",
+    "gossip_send_share",
+    "bipartite_split",
+    "build_exchange_graph",
+    "verify_deadlock_free",
+]

@@ -1,0 +1,120 @@
+"""Node endpoints and the shared communication context.
+
+A :class:`Node` is anything with a network identity: a worker, a PS
+shard, a machine-local aggregator. Nodes send typed messages; each
+(destination, kind) pair has its own FIFO mailbox, so concurrent
+processes on one node can selectively receive different kinds without
+stealing each other's messages (the paper's per-worker PS
+communication threads reduce to this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.messages import Message
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CommModel
+from repro.sim.engine import Engine, Get, Signal, Store
+from repro.sim.network import Network
+from repro.sim.trace import PhaseTracer
+
+__all__ = ["CommContext", "Node"]
+
+
+@dataclass
+class CommContext:
+    """Everything a node needs to communicate: the engine, the network,
+    the cluster layout, cost constants, and the tracer."""
+
+    engine: Engine
+    network: Network
+    cluster: ClusterSpec
+    comm_model: CommModel = field(default_factory=CommModel)
+    tracer: PhaseTracer = field(default_factory=lambda: PhaseTracer(enabled=False))
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+
+class Node:
+    """A network endpoint pinned to a machine.
+
+    Node ids are global and unique across workers and PS shards; the
+    registry in :class:`CommContext` is not needed because senders hold
+    direct references to receiver nodes (the runner wires them up).
+    """
+
+    def __init__(self, ctx: CommContext, node_id: int, machine: int, name: str = "") -> None:
+        if not 0 <= machine < ctx.cluster.machines:
+            raise ValueError(f"machine {machine} out of range")
+        self.ctx = ctx
+        self.node_id = node_id
+        self.machine = machine
+        self.name = name or f"node{node_id}"
+        self._mailboxes: dict[str, Store] = {}
+        self.sent_messages = 0
+        self.sent_bytes = 0
+
+    def mailbox(self, kind: str) -> Store:
+        box = self._mailboxes.get(kind)
+        if box is None:
+            box = self.ctx.engine.store()
+            self._mailboxes[kind] = box
+        return box
+
+    def send(
+        self,
+        dst: "Node",
+        kind: str,
+        *,
+        nbytes: int,
+        payload: Any = None,
+        meta: dict[str, Any] | None = None,
+        trace_worker: int | None = None,
+        tx_done: Signal | None = None,
+    ) -> Signal:
+        """Transmit a message; returns the delivery signal.
+
+        The message lands in ``dst.mailbox(kind)`` when the simulated
+        transfer completes. If ``trace_worker`` is set, the wire time is
+        recorded as a ``comm`` span for that worker.
+        """
+        engine = self.ctx.engine
+        msg = Message(
+            src=self.node_id,
+            dst=dst.node_id,
+            kind=kind,
+            nbytes=nbytes,
+            payload=payload,
+            meta=meta or {},
+            send_time=engine.now,
+        )
+        self.sent_messages += 1
+        self.sent_bytes += nbytes
+        send_time = engine.now
+        done = self.ctx.network.transfer(
+            self.machine, dst.machine, nbytes, tx_done=tx_done
+        )
+
+        def deliver(_value: Any) -> None:
+            msg.recv_time = engine.now
+            if trace_worker is not None:
+                self.ctx.tracer.record(trace_worker, "comm", send_time, engine.now)
+            dst.mailbox(kind).put(msg)
+
+        if done.triggered:
+            deliver(None)
+        else:
+            done._waiters.append(deliver)
+        return done
+
+    def recv(self, kind: str) -> Get:
+        """Yieldable: next message of ``kind`` (FIFO)."""
+        return Get(self.mailbox(kind))
+
+    def pending(self, kind: str) -> int:
+        """Messages of ``kind`` already queued (non-blocking probe)."""
+        return len(self.mailbox(kind))

@@ -1,0 +1,33 @@
+"""Message type exchanged between simulation nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass
+class Message:
+    """A delivered network message.
+
+    ``payload`` carries real numpy data in full mode and ``None`` in
+    timing-only mode; ``nbytes`` is what was charged to the network
+    either way. ``meta`` carries small control fields (iteration
+    counters, staleness versions, gossip weights) that are not charged
+    as payload bytes.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    nbytes: int
+    payload: Any = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    send_time: float = 0.0
+    recv_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")

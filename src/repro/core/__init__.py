@@ -1,0 +1,67 @@
+"""The seven distributed training algorithms (the paper's subject).
+
+Centralized (parameter-server based):
+
+* :class:`~repro.core.bsp.BSP` — bulk-synchronous parallel with
+  optional within-machine local aggregation;
+* :class:`~repro.core.asp.ASP` — fully asynchronous PS;
+* :class:`~repro.core.ssp.SSP` — stale-synchronous parallel with
+  staleness bound ``s``;
+* :class:`~repro.core.easgd.EASGD` — elastic averaging with
+  communication period ``τ``.
+
+Decentralized (peer-to-peer):
+
+* :class:`~repro.core.arsgd.ARSGD` — synchronous ring AllReduce
+  (reduce-scatter + allgather);
+* :class:`~repro.core.gosgd.GoSGD` — asymmetric weighted push-gossip
+  with probability ``p``;
+* :class:`~repro.core.adpsgd.ADPSGD` — asynchronous symmetric pairwise
+  averaging on a bipartite graph.
+
+All algorithms implement :class:`~repro.core.base.TrainingAlgorithm`
+and run on the same worker/cluster substrate, so differences in
+results come only from their aggregation semantics — the paper's
+fair-comparison requirement.
+"""
+
+from repro.core.base import (
+    ALGORITHMS,
+    AlgorithmInfo,
+    TrainingAlgorithm,
+    make_algorithm,
+    register_algorithm,
+)
+from repro.core.complexity import (
+    COMPLEXITY_TABLE,
+    communication_complexity,
+    convergence_rate,
+    table1_rows,
+)
+from repro.core.history import TrainingHistory, ThroughputResult
+from repro.core.runner import DistributedRunner, Runtime
+
+# Importing the algorithm modules registers them.
+from repro.core import bsp as _bsp  # noqa: F401
+from repro.core import asp as _asp  # noqa: F401
+from repro.core import ssp as _ssp  # noqa: F401
+from repro.core import easgd as _easgd  # noqa: F401
+from repro.core import arsgd as _arsgd  # noqa: F401
+from repro.core import gosgd as _gosgd  # noqa: F401
+from repro.core import adpsgd as _adpsgd  # noqa: F401
+
+__all__ = [
+    "TrainingAlgorithm",
+    "AlgorithmInfo",
+    "ALGORITHMS",
+    "register_algorithm",
+    "make_algorithm",
+    "COMPLEXITY_TABLE",
+    "convergence_rate",
+    "communication_complexity",
+    "table1_rows",
+    "TrainingHistory",
+    "ThroughputResult",
+    "DistributedRunner",
+    "Runtime",
+]

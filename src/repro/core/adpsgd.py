@@ -1,0 +1,131 @@
+"""AD-PSGD — Asynchronous Decentralized Parallel SGD (Lian et al., §IV-C).
+
+Workers are split into *active* and *passive* sets on a complete
+bipartite graph (deadlock-freedom verified in
+:mod:`repro.comm.pairwise`). Each worker runs two concurrent
+processes, per the paper's implementation note:
+
+* a **computation process** that performs local SGD steps back to
+  back — it never blocks on communication, which is why AD-PSGD
+  scales almost linearly (§VI-C);
+* a **communication process**: an active worker performs one symmetric
+  exchange per completed iteration (send parameters to a random
+  passive peer, wait for the peer's parameters, average); a passive
+  worker answers exchanges (reply with its parameters, then average).
+
+Both endpoints land on the same midpoint (xₐ+xₚ)/2 of the parameters
+that were current when the exchange was answered; gradients computed
+concurrently apply on top of the averaged value — exactly the
+atomic-averaging model analysed by Lian et al.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.comm.pairwise import bipartite_split, build_exchange_graph, verify_deadlock_free
+from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
+from repro.core.runner import Runtime
+from repro.core.worker import WorkerSlot, compute_iteration
+from repro.sim.engine import Get, Store
+
+__all__ = ["ADPSGD"]
+
+
+def _compute_process(rt: Runtime, slot: WorkerSlot, tokens: Store | None) -> Generator:
+    """Local SGD forever; posts one token per iteration so the active
+    communication process paces one exchange per iteration."""
+    while not rt.stopping:
+        grad = yield from compute_iteration(rt, slot)
+        if slot.comp is not None and grad is not None:
+            slot.comp.apply_gradient(grad, rt.lr())
+        if tokens is not None:
+            tokens.put(1)
+        rt.on_iteration(slot)
+
+
+def _active_comm(
+    rt: Runtime, slot: WorkerSlot, tokens: Store, passive_ids: list[int]
+) -> Generator[Any, Any, None]:
+    model_bytes = rt.total_elements * rt.sharding.bytes_per_param
+    tracer = rt.tracer
+    while not rt.stopping:
+        yield Get(tokens)
+        peer_wid = passive_ids[int(slot.rng.integers(0, len(passive_ids)))]
+        peer = rt.workers[peer_wid]
+        payload = slot.comp.get_params() if slot.comp is not None else None
+        tracer.begin(slot.wid, "global_agg", rt.engine.now)
+        slot.node.send(
+            peer.node,
+            "xreq",
+            nbytes=model_bytes,
+            payload=payload,
+            meta={"worker": slot.wid},
+            trace_worker=slot.wid,
+        )
+        msg = yield slot.node.recv("xrep")
+        tracer.end(slot.wid, "global_agg", rt.engine.now)
+        if slot.comp is not None and msg.payload is not None:
+            slot.comp.set_params(0.5 * (slot.comp.get_params() + msg.payload))
+
+
+def _passive_comm(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
+    model_bytes = rt.total_elements * rt.sharding.bytes_per_param
+    while not rt.stopping:
+        msg = yield slot.node.recv("xreq")
+        requester = rt.workers[msg.meta["worker"]]
+        payload = slot.comp.get_params() if slot.comp is not None else None
+        slot.node.send(
+            requester.node,
+            "xrep",
+            nbytes=model_bytes,
+            payload=payload,
+            meta={"worker": slot.wid},
+            trace_worker=msg.meta["worker"],
+        )
+        if slot.comp is not None and msg.payload is not None:
+            slot.comp.set_params(0.5 * (slot.comp.get_params() + msg.payload))
+
+
+@register_algorithm
+class ADPSGD(TrainingAlgorithm):
+    info = AlgorithmInfo(
+        name="AD-PSGD",
+        centralized=False,
+        synchronous=False,
+        sends_gradients=False,  # exchanges parameters
+        hyperparameters=(),
+    )
+
+    def setup(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        n = runtime.config.num_workers
+        graph = build_exchange_graph(n)
+        if not verify_deadlock_free(graph):  # pragma: no cover - structural guarantee
+            raise RuntimeError("exchange graph is not deadlock-free")
+        active, passive = bipartite_split(n)
+        for wid in active:
+            slot = runtime.workers[wid]
+            if passive:
+                tokens = runtime.engine.store()
+                runtime.engine.spawn(
+                    _compute_process(runtime, slot, tokens), name=f"adpsgd-comp-w{wid}"
+                )
+                runtime.engine.spawn(
+                    _active_comm(runtime, slot, tokens, passive), name=f"adpsgd-comm-w{wid}"
+                )
+            else:  # single worker: plain sequential SGD
+                runtime.engine.spawn(
+                    _compute_process(runtime, slot, None), name=f"adpsgd-comp-w{wid}"
+                )
+        for wid in passive:
+            slot = runtime.workers[wid]
+            runtime.engine.spawn(
+                _compute_process(runtime, slot, None), name=f"adpsgd-comp-w{wid}"
+            )
+            runtime.engine.spawn(_passive_comm(runtime, slot), name=f"adpsgd-serve-w{wid}")
+
+    def global_params(self) -> np.ndarray | None:
+        return self._average_worker_params()

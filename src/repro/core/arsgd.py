@@ -1,0 +1,217 @@
+"""AR-SGD — synchronous AllReduce SGD (§IV-A).
+
+Decentralized BSP: per iteration the workers' gradients are summed by
+a collective AllReduce (MPICH's large-message algorithm:
+reduce-scatter + allgather, realised here as the bandwidth-optimal
+ring schedule) and every worker applies the same mean gradient with
+its local momentum optimizer — bit-identical replicas, like BSP, but
+with no PS to bottleneck.
+
+Wait-free BP starts one ring per layer as soon as that layer's
+backward completes. DGC replaces the reduce-scatter with an allgather
+of each worker's sparse gradient (the sparse union cannot be
+reduce-scattered), as in Lin et al.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.comm.collectives import chunk_slices, ring_allreduce_plan, ring_neighbors
+from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
+from repro.core.runner import Runtime
+from repro.core.worker import WorkerSlot
+from repro.optimizations.dgc import SparseGradient
+from repro.sim.engine import AllOf, Signal, Timeout
+
+__all__ = ["ARSGD"]
+
+
+def _ring_allreduce_entry(
+    rt: Runtime,
+    slot: WorkerSlot,
+    entry_label: str,
+    ranges: tuple[tuple[int, int], ...],
+    vec: np.ndarray | None,
+    num_elements: int,
+    done: Signal,
+) -> Generator[Any, Any, None]:
+    """Ring AllReduce of one entry's elements; triggers ``done`` with
+    the reduced (summed) vector, or ``None`` in timing mode."""
+    world = rt.config.num_workers
+    rank = slot.wid
+    kind = f"ring:{entry_label}"
+    if world == 1:
+        done.trigger(vec, engine=rt.engine)
+        return
+        yield  # pragma: no cover
+    _, right = ring_neighbors(rank, world)
+    right_node = rt.workers[right].node
+    slices = chunk_slices(num_elements, world)
+    bpp = rt.sharding.bytes_per_param
+    buf = vec.copy() if vec is not None else None
+    for step in ring_allreduce_plan(rank, world):
+        send_slice = slices[step.send_chunk]
+        nbytes = max((send_slice.stop - send_slice.start) * bpp, 1)
+        payload = buf[send_slice].copy() if buf is not None else None
+        slot.node.send(
+            right_node,
+            kind,
+            nbytes=nbytes,
+            payload=payload,
+            meta={"step": step.step},
+            trace_worker=slot.wid,
+        )
+        msg = yield slot.node.recv(kind)
+        if step.reduce:
+            # Reduction arithmetic on the received chunk (worker-side
+            # vector add, faster than the PS software path).
+            yield Timeout(rt.ctx.comm_model.reduce_time(msg.nbytes))
+        if buf is not None and msg.payload is not None:
+            recv_slice = slices[step.recv_chunk]
+            if step.reduce:
+                buf[recv_slice] += msg.payload
+            else:
+                buf[recv_slice] = msg.payload
+    done.trigger(buf, engine=rt.engine)
+
+
+def _allgather_sparse(
+    rt: Runtime, slot: WorkerSlot, sparse: SparseGradient | None, nbytes_own: int
+) -> Generator[Any, Any, np.ndarray | None]:
+    """Ring allgather of per-worker sparse gradients (DGC path).
+
+    Each worker circulates its own block around the ring; after N−1
+    steps everyone has every block. Returns the dense sum or ``None``.
+    """
+    world = rt.config.num_workers
+    total = np.zeros(rt.total_elements, dtype=np.float64) if sparse is not None else None
+    if total is not None and sparse is not None:
+        total[sparse.indices] += sparse.values
+    if world == 1:
+        return total
+    _, right = ring_neighbors(slot.wid, world)
+    right_node = rt.workers[right].node
+    block: Any = sparse
+    block_bytes = nbytes_own
+    for _ in range(world - 1):
+        payload = (
+            (block.indices, block.values) if isinstance(block, SparseGradient) else None
+        )
+        slot.node.send(
+            right_node,
+            "ring:dgc",
+            nbytes=max(block_bytes, 1),
+            payload=payload,
+            meta={},
+            trace_worker=slot.wid,
+        )
+        msg = yield slot.node.recv("ring:dgc")
+        block_bytes = msg.nbytes
+        if msg.payload is not None and total is not None:
+            indices, values = msg.payload
+            np.add.at(total, indices, values)
+            block = SparseGradient(
+                indices=indices, values=values, num_elements=rt.total_elements
+            )
+        else:
+            block = None
+    return total
+
+
+def _arsgd_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
+    tracer = rt.tracer
+    entries = rt.comm_plan.entries
+    dgc_on = rt.dgc_config is not None
+    while not rt.stopping:
+        duration = rt.compute_model.iteration_time(slot.wid)
+        grad = slot.comp.gradient() if slot.comp is not None else None
+
+        if dgc_on:
+            tracer.begin(slot.wid, "compute", rt.engine.now)
+            yield Timeout(duration)
+            tracer.end(slot.wid, "compute", rt.engine.now)
+            sparse = None
+            nbytes = 1
+            if grad is not None:
+                assert slot.dgc is not None
+                sparse = slot.dgc.compress(grad, epoch=rt.sample_clock.epoch())
+                nbytes = sparse.nbytes
+            elif slot.dgc is not None:
+                nbytes = slot.dgc.compressed_bytes(epoch=rt.sample_clock.epoch())
+            tracer.begin(slot.wid, "global_agg", rt.engine.now)
+            total = yield from _allgather_sparse(rt, slot, sparse, nbytes)
+            tracer.end(slot.wid, "global_agg", rt.engine.now)
+            if slot.comp is not None and total is not None:
+                slot.comp.apply_gradient(
+                    total / rt.config.num_workers, rt.lr_at_round(slot.iterations)
+                )
+        else:
+            # One ring per comm-plan entry, launched at its readiness
+            # offset (all offsets are 1.0 without wait-free BP).
+            tracer.begin(slot.wid, "compute", rt.engine.now)
+            signals: list[Signal] = []
+            entry_meta: list[tuple[tuple[tuple[int, int], ...], Signal]] = []
+            elapsed = 0.0
+            for entry in entries:
+                ready = entry.ready_offset * duration
+                if ready > elapsed:
+                    yield Timeout(ready - elapsed)
+                    elapsed = ready
+                ranges = rt.entry_ranges(entry)
+                vec = (
+                    np.concatenate([grad[a:b] for a, b in ranges])
+                    if grad is not None
+                    else None
+                )
+                done = Signal()
+                rt.engine.spawn(
+                    _ring_allreduce_entry(
+                        rt, slot, entry.label, ranges, vec, entry.num_elements, done
+                    ),
+                    name=f"ring-{entry.label}-w{slot.wid}",
+                )
+                signals.append(done)
+                entry_meta.append((ranges, done))
+            if elapsed < duration:
+                yield Timeout(duration - elapsed)
+            tracer.end(slot.wid, "compute", rt.engine.now)
+
+            tracer.begin(slot.wid, "global_agg", rt.engine.now)
+            yield AllOf(signals)
+            tracer.end(slot.wid, "global_agg", rt.engine.now)
+            if slot.comp is not None and grad is not None:
+                agg = np.empty(rt.total_elements, dtype=np.float64)
+                for ranges, done in entry_meta:
+                    reduced = done.value
+                    offset = 0
+                    for a, b in ranges:
+                        agg[a:b] = reduced[offset : offset + (b - a)]
+                        offset += b - a
+                slot.comp.apply_gradient(
+                    agg / rt.config.num_workers, rt.lr_at_round(slot.iterations)
+                )
+        rt.on_iteration(slot)
+
+
+@register_algorithm
+class ARSGD(TrainingAlgorithm):
+    info = AlgorithmInfo(
+        name="AR-SGD",
+        centralized=False,
+        synchronous=True,
+        sends_gradients=True,
+        hyperparameters=(),
+    )
+
+    def setup(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        for slot in runtime.workers:
+            runtime.engine.spawn(_arsgd_worker(runtime, slot), name=f"arsgd-w{slot.wid}")
+
+    def global_params(self) -> np.ndarray | None:
+        # All replicas are identical between rounds; the average is
+        # exact and robust mid-round.
+        return self._average_worker_params()

@@ -1,0 +1,175 @@
+"""ASP — Asynchronous Parallel parameter-server training (§III-B).
+
+Every worker independently loops: compute gradient → send it to the
+PS shards → receive the freshly updated global parameters → next
+iteration. The PS applies each worker's gradient *immediately* (no
+synchronisation), so fast workers never wait for slow ones, but every
+worker round-trips the full model through the PS every iteration —
+communication complexity O(2MN) — which is exactly what makes the PS
+the bottleneck on a 10 Gbps network (§VI-C).
+
+Two PS reply granularities, matching the implementations they model:
+
+* without wait-free BP the shard applies one optimizer step per worker
+  gradient and replies with its whole slice (the classic PS pull);
+* with wait-free BP gradients arrive per layer and the shard applies
+  and replies *per layer* — the layer-wise push/pull of Poseidon-style
+  wait-free training, which also spreads the reply traffic instead of
+  synchronising a full-model reply storm at every compute boundary.
+  Layer versions may differ within one pull, exactly as in TF.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.comm.messages import Message
+from repro.comm.ps import PSShard
+from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
+from repro.core.runner import Runtime
+from repro.core.worker import (
+    WorkerSlot,
+    apply_reply_payload,
+    collect_shard_replies,
+    compute_iteration,
+    send_gradient_plan,
+)
+
+__all__ = ["ASP", "ASPShard"]
+
+
+class ASPShard(PSShard):
+    """PS shard for ASP: immediate update + reply (whole-slice or
+    per-layer, see module docstring)."""
+
+    serve_concurrency = 2  # per-worker comm threads, capped at spare PS cores
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._partial: dict[int, tuple[int, np.ndarray | None]] = {}
+
+    def _layerwise(self) -> bool:
+        # Per-layer apply/reply only for plain wait-free BP; DGC payloads
+        # are already tiny, so the full-set + delta-pull path stays.
+        return self.runtime.comm_plan.wait_free and self.runtime.dgc_config is None
+
+    def handle(self, msg: Message) -> Generator[Any, Any, None]:
+        wid = msg.meta["worker"]
+        if self._layerwise():
+            yield self.agg_delay(msg.nbytes)
+            self.apply_entry_gradient(msg, self.runtime.fold_lr())
+            self.reply_entry_params(
+                self.runtime.workers[wid].node, msg.meta["entry"], trace_worker=wid
+            )
+            return
+        # Shared state is updated *before* yielding so that concurrent
+        # serve lanes never observe a stale partial set.
+        count, acc = self._partial.pop(wid, (0, None))
+        acc = self.accumulate_entry(acc, msg)
+        count += 1
+        if count < self.entries_per_sender:
+            self._partial[wid] = (count, acc)
+            yield self.agg_delay(msg.nbytes)
+            return
+        yield self.agg_delay(msg.nbytes)
+        self.apply_gradient(acc, self.runtime.fold_lr())
+        self.reply_params(
+            self.runtime.workers[wid].node, meta={"trace_worker": wid}
+        )
+
+
+def _asp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
+    tracer = rt.tracer
+    layerwise = rt.comm_plan.wait_free and rt.dgc_config is None
+    expected_replies = len(rt.comm_plan.entries) if layerwise else rt.sharding.num_shards
+
+    if layerwise:
+        # Wait-free pipeline: per-layer pulls of round k may stream in
+        # while round k+1's *forward* pass runs (TF fetches each
+        # layer's parameters independently, just before that layer's
+        # forward op). Forward is ~1/3 of the iteration, so up to a
+        # third of the previous round's pull *bytes* may still be in
+        # flight when compute starts; the rest must have arrived. The
+        # bound is in bytes so a giant layer (VGG-16's fc6) cannot lag
+        # behind a congested shard indefinitely.
+        outstanding = 0
+        pull_slack = max(1, rt.comm_plan.total_bytes // 3)
+
+        def _apply(msg) -> None:
+            if slot.comp is not None and msg.payload is not None:
+                flat = slot.comp.get_params()
+                apply_reply_payload(rt, flat, msg)
+                slot.comp.set_params(flat)
+
+        while not rt.stopping:
+            while slot.node.pending("reply"):
+                msg = yield slot.node.recv("reply")
+                _apply(msg)
+                outstanding -= msg.nbytes
+            if outstanding > pull_slack:
+                tracer.begin(slot.wid, "global_agg", rt.engine.now)
+                while outstanding > pull_slack:
+                    msg = yield slot.node.recv("reply")
+                    _apply(msg)
+                    outstanding -= msg.nbytes
+                tracer.end(slot.wid, "global_agg", rt.engine.now)
+            duration = rt.compute_model.iteration_time(slot.wid)
+            grad = slot.comp.gradient() if slot.comp is not None else None
+            yield from send_gradient_plan(
+                rt,
+                slot,
+                grad,
+                kind="req",
+                meta={"op": "grad", "worker": slot.wid},
+                compute_duration=duration,
+            )
+            outstanding += rt.comm_plan.total_bytes
+            rt.on_iteration(slot)
+        return
+
+    while not rt.stopping:
+        if rt.comm_plan.wait_free:
+            duration = rt.compute_model.iteration_time(slot.wid)
+            grad = slot.comp.gradient() if slot.comp is not None else None
+            yield from send_gradient_plan(
+                rt,
+                slot,
+                grad,
+                kind="req",
+                meta={"op": "grad", "worker": slot.wid},
+                compute_duration=duration,
+            )
+        else:
+            grad = yield from compute_iteration(rt, slot)
+            yield from send_gradient_plan(
+                rt, slot, grad, kind="req", meta={"op": "grad", "worker": slot.wid}
+            )
+        tracer.begin(slot.wid, "global_agg", rt.engine.now)
+        flat = yield from collect_shard_replies(rt, slot, expected_replies)
+        tracer.end(slot.wid, "global_agg", rt.engine.now)
+        if slot.comp is not None and flat is not None:
+            slot.comp.set_params(flat)
+        rt.on_iteration(slot)
+
+
+@register_algorithm
+class ASP(TrainingAlgorithm):
+    info = AlgorithmInfo(
+        name="ASP",
+        centralized=True,
+        synchronous=False,
+        sends_gradients=True,
+        hyperparameters=(),
+    )
+
+    def setup(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        # Momentum-free folds (see Runtime.fold_lr for the rationale).
+        runtime.create_ps_shards(ASPShard, momentum=0.0)
+        for slot in runtime.workers:
+            runtime.engine.spawn(_asp_worker(runtime, slot), name=f"asp-w{slot.wid}")
+
+    def global_params(self) -> np.ndarray | None:
+        return self._ps_global_params()

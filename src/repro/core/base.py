@@ -1,0 +1,132 @@
+"""Algorithm interface and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runner import Runtime
+
+__all__ = [
+    "AlgorithmInfo",
+    "TrainingAlgorithm",
+    "ALGORITHMS",
+    "register_algorithm",
+    "make_algorithm",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Static classification of an algorithm (Table I columns)."""
+
+    name: str
+    centralized: bool
+    synchronous: bool
+    sends_gradients: bool  # True → wait-free BP and DGC are applicable
+    hyperparameters: tuple[str, ...] = ()
+
+    @property
+    def supports_sharding(self) -> bool:
+        # Parameter sharding applies to the PS-based algorithms (§V-A).
+        return self.centralized
+
+    @property
+    def supports_waitfree_bp(self) -> bool:
+        # Wait-free BP applies to gradient-sending algorithms (§V-B).
+        return self.sends_gradients
+
+    @property
+    def supports_dgc(self) -> bool:
+        # DGC applies to gradient-communicating algorithms (§V-C).
+        return self.sends_gradients
+
+
+class TrainingAlgorithm:
+    """Base class: an algorithm wires worker/server processes into a
+    :class:`~repro.core.runner.Runtime` and exposes the consensus
+    ("global") parameters for evaluation.
+    """
+
+    info: AlgorithmInfo
+
+    def __init__(self, **hyperparams: Any) -> None:
+        unknown = set(hyperparams) - set(self.info.hyperparameters)
+        if unknown:
+            raise TypeError(
+                f"{self.info.name} got unknown hyperparameters {sorted(unknown)}; "
+                f"accepts {list(self.info.hyperparameters)}"
+            )
+        self.hyperparams = dict(hyperparams)
+        self.runtime: "Runtime | None" = None
+
+    # -- lifecycle -----------------------------------------------------
+    def setup(self, runtime: "Runtime") -> None:
+        """Create nodes and spawn simulation processes."""
+        raise NotImplementedError
+
+    def global_params(self) -> np.ndarray | None:
+        """Consensus parameters used for evaluation.
+
+        Centralized algorithms return the PS global parameters;
+        decentralized ones return the average of all workers' local
+        parameters (the conventional implicit global model, §IV).
+        Timing-only mode returns ``None``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        hp = ", ".join(f"{k}={v}" for k, v in sorted(self.hyperparams.items()))
+        return f"{self.info.name}({hp})" if hp else self.info.name
+
+    # -- shared helpers -------------------------------------------------
+    def _ps_global_params(self) -> np.ndarray | None:
+        """Assemble the PS shards' slices into the full global vector."""
+        assert self.runtime is not None
+        if self.runtime.mode != "full":
+            return None
+        flat = np.zeros(self.runtime.total_elements, dtype=np.float64)
+        for shard in self.runtime.ps_nodes:
+            assert shard.params is not None
+            shard.assignment.scatter(flat, shard.params)
+        return flat
+
+    def _average_worker_params(self) -> np.ndarray | None:
+        assert self.runtime is not None
+        comps = [w.comp for w in self.runtime.workers if w.comp is not None]
+        if not comps:
+            return None
+        acc = comps[0].model.get_flat_parameters()
+        for comp in comps[1:]:
+            acc += comp.model.get_flat_parameters()
+        acc /= len(comps)
+        return acc
+
+
+ALGORITHMS: dict[str, Callable[..., TrainingAlgorithm]] = {}
+
+
+def register_algorithm(cls: type[TrainingAlgorithm]) -> type[TrainingAlgorithm]:
+    """Class decorator adding the algorithm to the global registry."""
+    name = cls.info.name.lower()
+    if name in ALGORITHMS:
+        raise ValueError(f"algorithm {name!r} already registered")
+    ALGORITHMS[name] = cls
+    return cls
+
+
+def make_algorithm(name: str, **hyperparams: Any) -> TrainingAlgorithm:
+    """Instantiate a registered algorithm by (case-insensitive) name.
+
+    >>> make_algorithm("ssp", staleness=3).describe()
+    'SSP(staleness=3)'
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {"arsgd": "ar-sgd", "adpsgd": "ad-psgd"}
+    key = aliases.get(key, key)
+    if key not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[key](**hyperparams)

@@ -1,0 +1,177 @@
+"""Table I — theoretical convergence rates and communication
+complexities of the seven algorithms.
+
+Convergence rates are the published asymptotic bounds (``None`` where
+the original papers prove none, i.e. EASGD and GoSGD). Communication
+complexities are per-iteration message volume across the cluster, in
+units of the model size ``M`` with ``N`` workers, exactly as the
+paper's Table I states them:
+
+=========  ==============================  =============================
+algorithm  convergence rate                comm. complexity
+=========  ==============================  =============================
+BSP        O(1/sqrt(N·K))                  O(2·M·N / l)   (local agg. l)
+ASP        O(1/sqrt(N·K))                  O(2·M·N)
+SSP        O(sqrt(2·(s+1)·N / K))          O((1 + 1/(s+1))·M·N)
+EASGD      (unknown)                       O(2·M·N / τ)
+AR-SGD     O(1/sqrt(N·K))                  O(2·M·N)  [2·M·(N−1) on wire]
+GoSGD      (unknown)                       O(M·N·p)
+AD-PSGD    O(1/sqrt(K))                    O(M·N)
+=========  ==============================  =============================
+
+These closed forms are also the oracle for tests that check the
+*measured* message volumes of our implementations against the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ComplexityEntry",
+    "COMPLEXITY_TABLE",
+    "convergence_rate",
+    "communication_complexity",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One row of Table I."""
+
+    name: str
+    category: str  # "centralized-sync" | "centralized-async" | "decentralized-sync" | "decentralized-async"
+    convergence_label: str
+    comm_label: str
+    convergence: Callable[..., float] | None
+    communication: Callable[..., float]
+
+
+def _conv_bsp(n: int, k: int) -> float:
+    return 1.0 / math.sqrt(n * k)
+
+
+def _conv_ssp(n: int, k: int, s: int) -> float:
+    return math.sqrt(2.0 * (s + 1) * n / k)
+
+
+def _conv_adpsgd(n: int, k: int) -> float:
+    return 1.0 / math.sqrt(k)
+
+
+COMPLEXITY_TABLE: dict[str, ComplexityEntry] = {
+    "bsp": ComplexityEntry(
+        name="BSP",
+        category="centralized-sync",
+        convergence_label="O(1/sqrt(NK))",
+        comm_label="O(2MN·1/l)",
+        convergence=_conv_bsp,
+        communication=lambda m, n, l=1, **_: 2.0 * m * n / l,
+    ),
+    "asp": ComplexityEntry(
+        name="ASP",
+        category="centralized-async",
+        convergence_label="O(1/sqrt(NK))",
+        comm_label="O(2MN)",
+        convergence=_conv_bsp,
+        communication=lambda m, n, **_: 2.0 * m * n,
+    ),
+    "ssp": ComplexityEntry(
+        name="SSP",
+        category="centralized-async",
+        convergence_label="O(sqrt(2(s+1)N/K))",
+        comm_label="O((1+1/(s+1))·MN)",
+        convergence=_conv_ssp,
+        communication=lambda m, n, s=0, **_: (1.0 + 1.0 / (s + 1)) * m * n,
+    ),
+    "easgd": ComplexityEntry(
+        name="EASGD",
+        category="centralized-async",
+        convergence_label="-",
+        comm_label="O(2MN·1/tau)",
+        convergence=None,
+        communication=lambda m, n, tau=1, **_: 2.0 * m * n / tau,
+    ),
+    "ar-sgd": ComplexityEntry(
+        name="AR-SGD",
+        category="decentralized-sync",
+        convergence_label="O(1/sqrt(NK))",
+        comm_label="O(2MN)",
+        convergence=_conv_bsp,
+        communication=lambda m, n, **_: 2.0 * m * n,
+    ),
+    "gosgd": ComplexityEntry(
+        name="GoSGD",
+        category="decentralized-async",
+        convergence_label="-",
+        comm_label="O(MN·p)",
+        convergence=None,
+        communication=lambda m, n, p=1.0, **_: m * n * p,
+    ),
+    "ad-psgd": ComplexityEntry(
+        name="AD-PSGD",
+        category="decentralized-async",
+        convergence_label="O(1/sqrt(K))",
+        comm_label="O(MN)",
+        convergence=_conv_adpsgd,
+        communication=lambda m, n, **_: m * n,
+    ),
+}
+
+
+def convergence_rate(algorithm: str, *, n: int, k: int, s: int = 0) -> float | None:
+    """Evaluate the convergence-rate bound; ``None`` if unproven.
+
+    Parameters mirror the paper: ``n`` workers, ``k`` iterations,
+    staleness ``s`` (SSP only).
+    """
+    if n <= 0 or k <= 0:
+        raise ValueError("n and k must be positive")
+    entry = COMPLEXITY_TABLE[algorithm.lower()]
+    if entry.convergence is None:
+        return None
+    if algorithm.lower() == "ssp":
+        return entry.convergence(n, k, s)
+    return entry.convergence(n, k)
+
+
+def communication_complexity(
+    algorithm: str,
+    *,
+    m: float,
+    n: int,
+    l: int = 1,
+    s: int = 0,
+    tau: int = 1,
+    p: float = 1.0,
+) -> float:
+    """Per-iteration communication volume in parameter units.
+
+    ``m`` model size, ``n`` workers, ``l`` workers per machine (local
+    aggregation), ``s`` staleness, ``tau`` EASGD period, ``p`` gossip
+    probability.
+    """
+    if m < 0 or n <= 0 or l <= 0 or tau <= 0:
+        raise ValueError("invalid complexity arguments")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if s < 0:
+        raise ValueError("s must be non-negative")
+    entry = COMPLEXITY_TABLE[algorithm.lower()]
+    return entry.communication(m, n, l=l, s=s, tau=tau, p=p)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Render Table I as a list of dict rows (used by the benchmark)."""
+    return [
+        {
+            "name": e.name,
+            "category": e.category,
+            "convergence_rate": e.convergence_label,
+            "comm_complexity": e.comm_label,
+        }
+        for e in COMPLEXITY_TABLE.values()
+    ]

@@ -1,0 +1,130 @@
+"""EASGD — Elastic Averaging SGD (Zhang, Choromanska & LeCun, §III-D).
+
+Workers run *local* momentum SGD and only every ``tau`` iterations
+exchange parameters with the PS, which maintains the center variable
+``x̃``. Following the paper's implementation note, both elastic
+updates happen on the PS when a worker's parameters arrive:
+
+    x̃  ← x̃ + α (xᵢ − x̃)
+    xᵢ ← xᵢ − α (xᵢ − x̃_old)
+
+and the PS sends back the *updated local parameters* ``xᵢ`` (not the
+center variable). The moving rate defaults to α = 0.9/N, the stability
+choice from the EASGD paper (β = 0.9 split over N workers).
+
+Communication complexity O(2MN/τ); the price is intermittent
+aggregation — the accuracy cost the paper's Tables II/III quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.comm.messages import Message
+from repro.comm.ps import PSShard
+from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
+from repro.core.runner import Runtime
+from repro.core.worker import WorkerSlot, compute_iteration
+
+__all__ = ["EASGD", "EASGDShard"]
+
+
+class EASGDShard(PSShard):
+    """PS shard holding the center variable x̃ for its slice."""
+
+    serve_concurrency = 2  # per-worker comm threads, capped at spare PS cores
+
+    def handle(self, msg: Message) -> Generator[Any, Any, None]:
+        wid = msg.meta["worker"]
+        alpha = msg.meta["alpha"]
+        yield self.agg_delay(msg.nbytes)
+        reply_payload = None
+        if self.params is not None and msg.payload is not None:
+            x_i = np.asarray(msg.payload, dtype=np.float64)
+            diff = alpha * (x_i - self.params)
+            x_i_new = x_i - diff
+            self.params += diff
+            reply_payload = x_i_new
+        self.updates_applied += 1
+        self.send(
+            self.runtime.workers[wid].node,
+            "reply",
+            nbytes=self.slice_bytes,
+            payload=reply_payload,
+            meta={"shard": self.shard_id},
+            trace_worker=wid,
+        )
+
+
+def _easgd_worker(rt: Runtime, slot: WorkerSlot, tau: int, alpha: float) -> Generator:
+    tracer = rt.tracer
+    local_iter = 0
+    while not rt.stopping:
+        grad = yield from compute_iteration(rt, slot)
+        if slot.comp is not None and grad is not None:
+            slot.comp.apply_gradient(grad, rt.lr())
+        local_iter += 1
+        if local_iter % tau == 0:
+            tracer.begin(slot.wid, "global_agg", rt.engine.now)
+            params = slot.comp.get_params() if slot.comp is not None else None
+            for shard in rt.ps_nodes:
+                payload = (
+                    shard.assignment.gather(params) if params is not None else None
+                )
+                slot.node.send(
+                    shard,
+                    "req",
+                    nbytes=shard.slice_bytes,
+                    payload=payload,
+                    meta={"op": "easgd", "worker": slot.wid, "alpha": alpha},
+                    trace_worker=slot.wid,
+                )
+            flat = params.copy() if params is not None else None
+            for _ in range(rt.sharding.num_shards):
+                msg = yield slot.node.recv("reply")
+                if flat is not None and msg.payload is not None:
+                    rt.sharding.shards[msg.meta["shard"]].scatter(flat, msg.payload)
+            tracer.end(slot.wid, "global_agg", rt.engine.now)
+            if slot.comp is not None and flat is not None:
+                slot.comp.set_params(flat)
+        rt.on_iteration(slot)
+
+
+@register_algorithm
+class EASGD(TrainingAlgorithm):
+    info = AlgorithmInfo(
+        name="EASGD",
+        centralized=True,
+        synchronous=False,
+        sends_gradients=False,  # exchanges parameters → no wait-free BP / DGC
+        hyperparameters=("tau", "alpha"),
+    )
+
+    def __init__(self, **hyperparams: Any) -> None:
+        super().__init__(**hyperparams)
+        tau = int(self.hyperparams.get("tau", 8))
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+        alpha = self.hyperparams.get("alpha")
+        if alpha is not None and not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+
+    def alpha_for(self, num_workers: int) -> float:
+        """The EASGD paper's stable choice β/N with β = 0.9."""
+        return self._alpha if self._alpha is not None else 0.9 / num_workers
+
+    def setup(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        alpha = self.alpha_for(runtime.config.num_workers)
+        runtime.create_ps_shards(EASGDShard)
+        for slot in runtime.workers:
+            runtime.engine.spawn(
+                _easgd_worker(runtime, slot, self.tau, alpha), name=f"easgd-w{slot.wid}"
+            )
+
+    def global_params(self) -> np.ndarray | None:
+        return self._ps_global_params()

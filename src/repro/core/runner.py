@@ -1,0 +1,571 @@
+"""Run orchestration: builds the cluster, workers, and algorithm, runs
+the event engine, and collects results.
+
+Two execution modes (DESIGN.md §3):
+
+* ``full`` — semantics + timing: real numpy gradients on synthetic
+  data, asynchrony arising causally from the simulated schedule.
+  Produces a :class:`~repro.core.history.TrainingHistory`
+  (Table II/III/IV, Fig 1).
+* ``timing`` — identical control flow, no math: gradient payloads are
+  ``None`` and models are full-size ResNet-50/VGG-16 layer profiles.
+  Produces a :class:`~repro.core.history.ThroughputResult`
+  (Fig 2/3/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.comm.endpoints import CommContext, Node
+from repro.comm.ps import PSShard, place_shards
+from repro.core.history import ThroughputResult, TrainingHistory
+from repro.core.worker import LocalComputation, WorkerSlot
+from repro.data.loader import BatchLoader
+from repro.data.partition import partition_dataset
+from repro.data.synthetic import (
+    Dataset,
+    make_gaussian_blobs,
+    make_spirals,
+    make_synthetic_images,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import build_model
+from repro.nn.optim import weight_decay_mask
+from repro.nn.schedules import LRSchedule, WarmupStepSchedule
+from repro.nn.zoo import ModelProfile, mini_profile_from_model, resnet50_profile, vgg16_profile
+from repro.optimizations.dgc import DGCCompressor, DGCConfig
+from repro.optimizations.sharding import ShardingPlan, make_sharding_plan
+from repro.optimizations.waitfree import CommPlan, CommPlanEntry, make_comm_plan
+from repro.sim.cluster import ClusterSpec, paper_cluster
+from repro.sim.costmodel import CommModel, ComputeModel
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.trace import PhaseTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import TrainingAlgorithm
+
+__all__ = ["RunConfig", "SampleClock", "Runtime", "DistributedRunner"]
+
+DATASETS = {
+    "gaussian_blobs": make_gaussian_blobs,
+    "spirals": make_spirals,
+    "synthetic_images": make_synthetic_images,
+}
+
+PROFILES = {
+    "resnet50": resnet50_profile,
+    "vgg16": vgg16_profile,
+}
+
+
+@dataclass
+class RunConfig:
+    """Complete description of one run (one table cell / figure point)."""
+
+    algorithm: str
+    algorithm_params: dict[str, Any] = field(default_factory=dict)
+    mode: str = "full"  # "full" | "timing"
+    cluster: ClusterSpec = field(default_factory=paper_cluster)
+    num_workers: int = 4
+    batch_size: int = 32
+
+    # full-mode training setup
+    model_name: str = "mlp"
+    model_kwargs: dict[str, Any] = field(default_factory=dict)
+    dataset_name: str = "spirals"
+    dataset_kwargs: dict[str, Any] = field(default_factory=dict)
+    epochs: float = 10.0
+    base_lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    warmup_fraction: float = 5.0 / 90.0
+    milestone_fractions: tuple[float, ...] = (30.0 / 90.0, 60.0 / 90.0, 80.0 / 90.0)
+    test_fraction: float = 0.2
+    eval_every_epochs: float = 1.0
+
+    # timing-mode setup
+    profile_name: str = "resnet50"
+    measure_iters: int = 30
+    warmup_iters: int = 5
+
+    # optimizations
+    num_ps_shards: int = 1
+    sharding_strategy: str = "layerwise-greedy"
+    wait_free_bp: bool = False
+    dgc: bool = False
+    dgc_config: DGCConfig | None = None
+    local_aggregation: bool = True  # BSP within-machine reduction
+
+    # cost-model knobs
+    speed_spread: float = 0.05
+    jitter_sigma: float = 0.02
+    compute_time_override: float | None = None  # seconds per iteration
+    comm_model: CommModel = field(default_factory=CommModel)
+
+    seed: int = 0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("full", "timing"):
+            raise ValueError("mode must be 'full' or 'timing'")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.num_workers > self.cluster.total_gpus:
+            raise ValueError(
+                f"{self.num_workers} workers exceed the cluster's "
+                f"{self.cluster.total_gpus} GPUs"
+            )
+        if self.mode == "timing" and self.profile_name not in PROFILES:
+            raise ValueError(f"unknown profile {self.profile_name!r}")
+        if self.mode == "full" and self.dataset_name not in DATASETS:
+            raise ValueError(f"unknown dataset {self.dataset_name!r}")
+        if self.num_ps_shards <= 0:
+            raise ValueError("num_ps_shards must be positive")
+        if self.measure_iters <= 0 or self.warmup_iters < 0:
+            raise ValueError("invalid timing-mode iteration counts")
+
+
+class SampleClock:
+    """Global progress clock: samples processed → fractional epoch.
+
+    One "epoch" is one pass of the whole dataset *collectively* — the
+    convention under which the paper trains every algorithm "for 90
+    epochs" regardless of how iterations distribute across workers.
+    """
+
+    def __init__(self, dataset_size: int, batch_size: int) -> None:
+        if dataset_size <= 0 or batch_size <= 0:
+            raise ValueError("dataset_size and batch_size must be positive")
+        self.dataset_size = dataset_size
+        self.batch_size = batch_size
+        self.total_samples = 0
+        self.total_iterations = 0
+
+    def on_batch(self) -> None:
+        self.total_samples += self.batch_size
+        self.total_iterations += 1
+
+    def epoch(self) -> float:
+        return self.total_samples / self.dataset_size
+
+
+class Runtime:
+    """Everything an algorithm's processes need, in one place."""
+
+    def __init__(
+        self,
+        *,
+        config: RunConfig,
+        engine: Engine,
+        ctx: CommContext,
+        profile: ModelProfile,
+        compute_model: ComputeModel,
+        sharding: ShardingPlan,
+        comm_plan: CommPlan,
+        schedule: LRSchedule,
+        sample_clock: SampleClock,
+        dgc_config: DGCConfig | None,
+        init_params: np.ndarray | None,
+        decay_mask: np.ndarray | None,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.ctx = ctx
+        self.cluster = config.cluster
+        self.mode = config.mode
+        self.profile = profile
+        self.compute_model = compute_model
+        self.sharding = sharding
+        self.comm_plan = comm_plan
+        self.schedule = schedule
+        self.sample_clock = sample_clock
+        self.dgc_config = dgc_config
+        self.init_params = init_params
+        self.decay_mask = decay_mask
+        self.tracer = ctx.tracer
+        self.workers: list[WorkerSlot] = []
+        self.ps_nodes: list[PSShard] = []
+        self.nodes_by_id: dict[int, Node] = {}
+        self.stopping = False
+        self.total_elements = profile.total_params
+        self._iteration_callback = None
+        self._next_node_id = 0
+        # Pre-computed (shard, label) -> flat ranges for comm entries.
+        self._entry_ranges: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
+        self._build_entry_ranges()
+
+    # -- node management --------------------------------------------------
+    def allocate_node_id(self) -> int:
+        nid = self._next_node_id
+        self._next_node_id += 1
+        return nid
+
+    def create_ps_shards(self, shard_cls: type[PSShard], **kwargs: Any) -> list[PSShard]:
+        """Instantiate one shard node per sharding-plan shard and spawn
+        its serve loop. ``shard_cls`` is the algorithm's subclass."""
+        placement = place_shards(self.sharding.num_shards, self.cluster.machines)
+        shard_kwargs = dict(
+            momentum=self.config.momentum, weight_decay=self.config.weight_decay
+        )
+        shard_kwargs.update(kwargs)
+        shards: list[PSShard] = []
+        for assignment, machine in zip(self.sharding.shards, placement):
+            shard = shard_cls(
+                self.ctx,
+                self.allocate_node_id(),
+                machine,
+                self,
+                assignment,
+                init_params=self.init_params,
+                decay_mask=self.decay_mask,
+                **shard_kwargs,
+            )
+            shards.append(shard)
+            self.nodes_by_id[shard.node_id] = shard
+            for lane in range(max(1, shard.serve_concurrency)):
+                self.engine.spawn(shard.serve(), name=f"{shard.name}.t{lane}")
+        self.ps_nodes = shards
+        return shards
+
+    # -- comm-plan geometry -------------------------------------------------
+    def _build_entry_ranges(self) -> None:
+        layer_offsets: list[tuple[int, int]] = []
+        pos = 0
+        for layer in self.profile.layers:
+            layer_offsets.append((pos, pos + layer.params))
+            pos += layer.params
+        layer_by_name = {
+            layer.name: layer_offsets[i] for i, layer in enumerate(self.profile.layers)
+        }
+        for entry in self.comm_plan.entries:
+            if entry.label.startswith("shard"):
+                shard = self.sharding.shards[entry.shard_id]
+                self._entry_ranges[(entry.shard_id, entry.label)] = shard.ranges
+            else:
+                self._entry_ranges[(entry.shard_id, entry.label)] = (
+                    layer_by_name[entry.label],
+                )
+
+    def entry_ranges(self, entry: CommPlanEntry) -> tuple[tuple[int, int], ...]:
+        return self._entry_ranges[(entry.shard_id, entry.label)]
+
+    # -- progress ------------------------------------------------------------
+    def lr(self) -> float:
+        """Scaled learning rate (η = base·N with warm-up/decay) for
+        updates that apply a *mean over N workers' gradients* — BSP and
+        AR-SGD. This is the linear-scaling rule of Goyal et al."""
+        return self.schedule(self.sample_clock.epoch())
+
+    def lr_at_round(self, round_index: int) -> float:
+        """Scaled learning rate as a function of the synchronous round
+        index. AR-SGD replicas must all use the *same* lr per round —
+        reading the live sample clock would let replicas observe
+        different epochs mid-round and silently diverge."""
+        epoch = (
+            round_index
+            * self.config.num_workers
+            * self.config.batch_size
+            / self.sample_clock.dataset_size
+        )
+        return self.schedule(epoch)
+
+    def lr_local(self) -> float:
+        """Per-gradient learning rate for updates that apply a *single
+        worker's* gradient (ASP/SSP PS updates, and the local SGD steps
+        of SSP/EASGD/GoSGD/AD-PSGD).
+
+        The linear-scaling rule scales η with the number of gradients
+        averaged per update; these updates average one, so they use the
+        base rate — same warm-up/decay shape, divided by N. Using the
+        scaled rate here would double-count the scaling and diverge.
+        """
+        return self.schedule(self.sample_clock.epoch()) / self.config.num_workers
+
+    def fold_lr(self) -> float:
+        """Learning rate for *asynchronous per-gradient folds* at the PS
+        (ASP/SSP).
+
+        These folds run momentum-free: a server-side momentum buffer
+        driven by stale, interleaved gradient streams resonates and
+        diverges (staleness effectively doubles the momentum horizon).
+        To keep the effective step magnitude of momentum SGD, the rate
+        is compensated by the momentum sum 1/(1-mu). With DGC the
+        compensation is already embedded in the compressed values
+        (momentum correction happens in the worker compressor), so the
+        plain per-gradient rate applies.
+        """
+        if self.dgc_config is not None:
+            return self.lr_local()
+        return self.lr_local() / (1.0 - self.config.momentum)
+
+    def on_iteration(self, slot: WorkerSlot) -> None:
+        """Called by every worker after each training iteration."""
+        slot.iterations += 1
+        self.sample_clock.on_batch()
+        if self._iteration_callback is not None:
+            self._iteration_callback(slot)
+
+
+class DistributedRunner:
+    """Builds and executes one run."""
+
+    def __init__(self, config: RunConfig, algorithm: "TrainingAlgorithm | None" = None) -> None:
+        from repro.core.base import make_algorithm  # local import, avoids cycle
+
+        self.config = config
+        self.algorithm = algorithm or make_algorithm(
+            config.algorithm, **config.algorithm_params
+        )
+        self._validate_optimizations()
+        self.engine = Engine()
+        tracer = PhaseTracer(enabled=config.trace)
+        self.network = Network(self.engine, config.cluster)
+        self.ctx = CommContext(
+            engine=self.engine,
+            network=self.network,
+            cluster=config.cluster,
+            comm_model=config.comm_model,
+            tracer=tracer,
+        )
+        self._eval_model = None
+        self._test_data: Dataset | None = None
+        self._history: TrainingHistory | None = None
+        self._next_eval_epoch = 0.0
+        self._measure_t0: float | None = None
+        self._measure_images0 = 0
+        self._measured: tuple[float, int] | None = None
+        self._build()
+
+    # -- construction ---------------------------------------------------
+    def _validate_optimizations(self) -> None:
+        info = self.algorithm.info
+        cfg = self.config
+        if cfg.num_ps_shards > 1 and not info.supports_sharding:
+            raise ValueError(
+                f"{info.name} is decentralized; parameter sharding does not apply"
+            )
+        if cfg.wait_free_bp and not info.supports_waitfree_bp:
+            raise ValueError(f"{info.name} sends parameters; wait-free BP does not apply")
+        if cfg.dgc and not info.supports_dgc:
+            raise ValueError(f"{info.name} sends parameters; DGC does not apply")
+
+    def _build(self) -> None:
+        cfg = self.config
+        full = cfg.mode == "full"
+
+        init_params: np.ndarray | None = None
+        decay_mask: np.ndarray | None = None
+        models = []
+        if full:
+            dataset = DATASETS[cfg.dataset_name](seed=cfg.seed, **cfg.dataset_kwargs)
+            split_rng = np.random.default_rng(cfg.seed + 1)
+            train, test = dataset.split(cfg.test_fraction, rng=split_rng)
+            self._test_data = test
+            shards = partition_dataset(
+                train,
+                cfg.num_workers,
+                rng=np.random.default_rng(cfg.seed + 2),
+                drop_remainder=True,
+            )
+            # All replicas start from identical parameters: same seed.
+            for wid in range(cfg.num_workers):
+                models.append(build_model(cfg.model_name, seed=cfg.seed, **cfg.model_kwargs))
+            self._eval_model = build_model(cfg.model_name, seed=cfg.seed, **cfg.model_kwargs)
+            init_params = models[0].get_flat_parameters()
+            decay_mask = weight_decay_mask(models[0])
+            profile = mini_profile_from_model(models[0], name=cfg.model_name)
+            dataset_size = sum(len(s) for s in shards)
+        else:
+            profile = PROFILES[cfg.profile_name]()
+            # One collective "round" of batches counts as an epoch for
+            # the progress clock (drives only DGC warm-up here).
+            dataset_size = cfg.batch_size * cfg.num_workers
+
+        sharding = make_sharding_plan(
+            profile,
+            cfg.num_ps_shards if self.algorithm.info.centralized else 1,
+            strategy=cfg.sharding_strategy,
+        )
+        comm_plan = make_comm_plan(profile, sharding, wait_free=cfg.wait_free_bp)
+        compute_model = ComputeModel(
+            profile,
+            cfg.batch_size,
+            cfg.cluster.machine.gpu,
+            cfg.num_workers,
+            speed_spread=cfg.speed_spread,
+            jitter_sigma=cfg.jitter_sigma,
+            seed=cfg.seed + 3,
+            base_time_override=cfg.compute_time_override,
+        )
+        schedule = WarmupStepSchedule(
+            cfg.base_lr * cfg.num_workers,
+            warmup_epochs=cfg.warmup_fraction * cfg.epochs,
+            milestones=[f * cfg.epochs for f in cfg.milestone_fractions],
+            warmup_start_fraction=1.0 / cfg.num_workers,
+        )
+        sample_clock = SampleClock(dataset_size, cfg.batch_size)
+        dgc_config = None
+        if cfg.dgc:
+            dgc_config = cfg.dgc_config or DGCConfig(
+                num_workers=cfg.num_workers,
+                warmup_epochs=min(4.0, cfg.epochs * 4.0 / 90.0) if full else 0.0,
+            )
+
+        self.runtime = Runtime(
+            config=cfg,
+            engine=self.engine,
+            ctx=self.ctx,
+            profile=profile,
+            compute_model=compute_model,
+            sharding=sharding,
+            comm_plan=comm_plan,
+            schedule=schedule,
+            sample_clock=sample_clock,
+            dgc_config=dgc_config,
+            init_params=init_params,
+            decay_mask=decay_mask,
+        )
+
+        # Worker slots.
+        for wid in range(cfg.num_workers):
+            machine = cfg.cluster.machine_of_worker(wid)
+            node = Node(self.ctx, self.runtime.allocate_node_id(), machine, name=f"w{wid}")
+            self.runtime.nodes_by_id[node.node_id] = node
+            comp = None
+            if full:
+                loader = BatchLoader(
+                    shards[wid],
+                    cfg.batch_size,
+                    rng=np.random.default_rng(cfg.seed * 1000 + 17 + wid),
+                )
+                comp = LocalComputation(
+                    models[wid],
+                    loader,
+                    SoftmaxCrossEntropy(),
+                    momentum=cfg.momentum,
+                    weight_decay=cfg.weight_decay,
+                )
+            dgc = None
+            if dgc_config is not None:
+                dgc = DGCCompressor(profile.total_params, dgc_config)
+            self.runtime.workers.append(
+                WorkerSlot(
+                    wid=wid,
+                    machine=machine,
+                    node=node,
+                    comp=comp,
+                    rng=np.random.default_rng(cfg.seed * 1000 + 7919 + wid),
+                    dgc=dgc,
+                )
+            )
+
+        self.runtime._iteration_callback = (
+            self._on_iteration_full if full else self._on_iteration_timing
+        )
+        self.algorithm.setup(self.runtime)
+
+    # -- progress callbacks ------------------------------------------------
+    def _on_iteration_full(self, slot: WorkerSlot) -> None:
+        cfg = self.config
+        epoch = self.runtime.sample_clock.epoch()
+        if epoch + 1e-12 >= self._next_eval_epoch:
+            self._evaluate(epoch)
+            self._next_eval_epoch += cfg.eval_every_epochs
+        if epoch >= cfg.epochs and not self.runtime.stopping:
+            # Graceful stop: raise the flag and let the event queue
+            # drain. Every process exits at its loop head, so
+            # synchronous algorithms finish their in-flight round and
+            # workers end in a consistent state.
+            self.runtime.stopping = True
+
+    def _on_iteration_timing(self, slot: WorkerSlot) -> None:
+        cfg = self.config
+        clock = self.runtime.sample_clock
+        warm_total = cfg.warmup_iters * cfg.num_workers
+        end_total = warm_total + cfg.measure_iters * cfg.num_workers
+        if self._measure_t0 is None and clock.total_iterations >= warm_total:
+            self._measure_t0 = self.engine.now
+            self._measure_images0 = clock.total_samples
+        if clock.total_iterations >= end_total and not self.runtime.stopping:
+            assert self._measure_t0 is not None
+            self._measured = (
+                self.engine.now - self._measure_t0,
+                clock.total_samples - self._measure_images0,
+            )
+            self.runtime.stopping = True
+
+    # -- evaluation ----------------------------------------------------------
+    def _evaluate(self, epoch: float) -> None:
+        assert self._eval_model is not None and self._test_data is not None
+        params = self.algorithm.global_params()
+        if params is None:
+            return
+        if self._history is None:
+            self._history = TrainingHistory(
+                algorithm=self.algorithm.describe(), num_workers=self.config.num_workers
+            )
+        self._eval_model.set_flat_parameters(params)
+        # Batch-norm models evaluate with batch statistics (running
+        # stats are per-worker local and not part of the flat vector).
+        self._eval_model.train()
+        correct = 0
+        x, y = self._test_data.x, self._test_data.y
+        for start in range(0, len(self._test_data), 512):
+            out = self._eval_model.forward(x[start : start + 512])
+            correct += int((out.argmax(axis=1) == y[start : start + 512]).sum())
+        accuracy = correct / len(self._test_data)
+        losses = [
+            w.comp.ema_loss
+            for w in self.runtime.workers
+            if w.comp is not None and w.comp.ema_loss == w.comp.ema_loss
+        ]
+        train_loss = float(np.mean(losses)) if losses else float("nan")
+        self._history.record(
+            epoch=epoch, time=self.engine.now, test_accuracy=accuracy, train_loss=train_loss
+        )
+
+    # -- execution -------------------------------------------------------------
+    def run(self, *, max_events: int = 50_000_000) -> TrainingHistory | ThroughputResult:
+        self.engine.run(max_events=max_events)
+        if self.config.mode == "full":
+            # Final evaluation at the stop point.
+            self._evaluate(self.runtime.sample_clock.epoch())
+            assert self._history is not None
+            self._history.total_iterations = self.runtime.sample_clock.total_iterations
+            self._history.total_virtual_time = self.engine.now
+            self._history.metadata.update(
+                {
+                    "config": self.config,
+                    "total_network_bytes": self.network.total_bytes,
+                    "total_messages": self.network.total_messages,
+                }
+            )
+            return self._history
+        if self._measured is None:
+            raise RuntimeError(
+                "timing run ended before the measurement window completed"
+            )
+        duration, images = self._measured
+        result = ThroughputResult(
+            algorithm=self.algorithm.describe(),
+            num_workers=self.config.num_workers,
+            model=self.config.profile_name,
+            bandwidth_gbps=self.config.cluster.network_bandwidth_gbps,
+            iterations_per_worker=self.config.measure_iters,
+            batch_size=self.config.batch_size,
+            measured_time=duration,
+            measured_images=images,
+            breakdown=self.ctx.tracer.fractions() if self.config.trace else {},
+        )
+        result.metadata.update(
+            {
+                "total_network_bytes": self.network.total_bytes,
+                "total_messages": self.network.total_messages,
+            }
+        )
+        return result

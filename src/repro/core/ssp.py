@@ -1,0 +1,188 @@
+"""SSP — Stale Synchronous Parallel (§III-C).
+
+SSP relaxes BSP by letting workers run ahead of the slowest worker by
+at most ``staleness`` iterations. Per the paper's implementation (Ho
+et al., NIPS'13):
+
+* every iteration the worker (a) sends its gradients to the PS and
+  (b) applies the same gradients to its *local* parameters — two
+  independent tasks executed in parallel;
+* the PS folds each arriving gradient into the global parameters
+  immediately, and records the sender's iteration clock;
+* only when a worker's clock outruns the slowest known clock by more
+  than ``staleness`` does it request the aggregated global parameters
+  — and the PS holds that request until the slowest worker has caught
+  up to within the bound (the blocking that enforces the staleness
+  guarantee).
+
+Communication complexity O((1 + 1/(s+1))·MN): gradients every
+iteration, parameters roughly every s+1 iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.comm.messages import Message
+from repro.comm.ps import PSShard
+from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
+from repro.core.runner import Runtime
+from repro.core.worker import (
+    WorkerSlot,
+    apply_reply_payload,
+    compute_iteration,
+    send_gradient_plan,
+)
+
+__all__ = ["SSP", "SSPShard"]
+
+# A fetch request is a small control message (clock + shard list).
+FETCH_REQUEST_BYTES = 64
+
+
+class SSPShard(PSShard):
+    """PS shard for SSP: immediate gradient folding + blocking fetches."""
+
+    serve_concurrency = 2  # per-worker comm threads, capped at spare PS cores
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._partial: dict[int, tuple[int, np.ndarray | None]] = {}
+        self.clocks: dict[int, int] = {
+            slot.wid: 0 for slot in self.runtime.workers
+        }
+        # Fetches blocked on the staleness condition: (wid, clock).
+        self._blocked: list[tuple[int, int]] = []
+
+    @property
+    def staleness(self) -> int:
+        return int(self.runtime.config.algorithm_params.get("staleness", 3))
+
+    def min_clock(self) -> int:
+        return min(self.clocks.values())
+
+    def handle(self, msg: Message) -> Generator[Any, Any, None]:
+        op = msg.meta["op"]
+        wid = msg.meta["worker"]
+        if op == "grad":
+            # State updates precede yields (concurrent serve lanes).
+            count, acc = self._partial.pop(wid, (0, None))
+            acc = self.accumulate_entry(acc, msg)
+            count += 1
+            if count < self.entries_per_sender:
+                self._partial[wid] = (count, acc)
+                yield self.agg_delay(msg.nbytes)
+                return
+            yield self.agg_delay(msg.nbytes)
+            self.apply_gradient(acc, self.runtime.fold_lr())
+            self.clocks[wid] = max(self.clocks[wid], msg.meta["clock"])
+            self._release_satisfied()
+        elif op == "fetch":
+            clock = msg.meta["clock"]
+            if clock - self.min_clock() <= self.staleness:
+                self._reply_fetch(wid)
+            else:
+                self._blocked.append((wid, clock))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown SSP op {op!r}")
+
+    def _release_satisfied(self) -> None:
+        floor = self.min_clock()
+        still_blocked: list[tuple[int, int]] = []
+        for wid, clock in self._blocked:
+            if clock - floor <= self.staleness:
+                self._reply_fetch(wid)
+            else:
+                still_blocked.append((wid, clock))
+        self._blocked = still_blocked
+
+    def _reply_fetch(self, wid: int) -> None:
+        self.reply_params(
+            self.runtime.workers[wid].node,
+            meta={"trace_worker": wid, "min_clock": self.min_clock()},
+        )
+
+
+def _ssp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
+    staleness = int(rt.config.algorithm_params.get("staleness", 3))
+    tracer = rt.tracer
+    clock = 0
+    known_min = 0
+    while not rt.stopping:
+        meta = {"op": "grad", "worker": slot.wid, "clock": clock + 1}
+        if rt.comm_plan.wait_free:
+            duration = rt.compute_model.iteration_time(slot.wid)
+            grad = slot.comp.gradient() if slot.comp is not None else None
+            yield from send_gradient_plan(
+                rt, slot, grad, kind="req", meta=meta, compute_duration=duration,
+                block_tx=True,
+            )
+        else:
+            grad = yield from compute_iteration(rt, slot)
+            yield from send_gradient_plan(
+                rt, slot, grad, kind="req", meta=meta, block_tx=True
+            )
+        # Task (b): local update with the worker's own gradients,
+        # executed in parallel with the send (paper §III-C). Local
+        # steps apply a single gradient, so they use the per-gradient
+        # rate; local replicas therefore drift between fetches - the
+        # version-divergence mechanism behind SSP's accuracy loss at
+        # large s (§VI-A).
+        if slot.comp is not None and grad is not None:
+            slot.comp.apply_gradient(grad, rt.lr_local())
+        clock += 1
+
+        if clock - known_min > staleness:
+            tracer.begin(slot.wid, "global_agg", rt.engine.now)
+            for shard in rt.ps_nodes:
+                slot.node.send(
+                    shard,
+                    "req",
+                    nbytes=FETCH_REQUEST_BYTES,
+                    meta={"op": "fetch", "worker": slot.wid, "clock": clock},
+                    trace_worker=slot.wid,
+                )
+            flat = slot.comp.get_params() if slot.comp is not None else None
+            min_clocks: list[int] = []
+            for _ in range(rt.sharding.num_shards):
+                msg = yield slot.node.recv("reply")
+                apply_reply_payload(rt, flat, msg)
+                min_clocks.append(int(msg.meta["min_clock"]))
+            tracer.end(slot.wid, "global_agg", rt.engine.now)
+            if slot.comp is not None and flat is not None:
+                slot.comp.set_params(flat)
+            # The worker's staleness view comes from the reply metadata
+            # (piggybacked clocks), never from peeking at remote state.
+            known_min = min(min_clocks)
+        rt.on_iteration(slot)
+
+
+@register_algorithm
+class SSP(TrainingAlgorithm):
+    info = AlgorithmInfo(
+        name="SSP",
+        centralized=True,
+        synchronous=False,
+        sends_gradients=True,
+        hyperparameters=("staleness",),
+    )
+
+    def __init__(self, **hyperparams: Any) -> None:
+        super().__init__(**hyperparams)
+        staleness = int(self.hyperparams.get("staleness", 3))
+        if staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        self.staleness = staleness
+
+    def setup(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        runtime.config.algorithm_params.setdefault("staleness", self.staleness)
+        # Momentum-free folds (see Runtime.fold_lr for the rationale).
+        runtime.create_ps_shards(SSPShard, momentum=0.0)
+        for slot in runtime.workers:
+            runtime.engine.spawn(_ssp_worker(runtime, slot), name=f"ssp-w{slot.wid}")
+
+    def global_params(self) -> np.ndarray | None:
+        return self._ps_global_params()

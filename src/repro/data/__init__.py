@@ -1,0 +1,27 @@
+"""Datasets and data-parallel partitioning.
+
+The paper trains on ImageNet-1K; offline we substitute synthetic
+classification datasets whose SGD dynamics exercise the same code
+paths (see DESIGN.md §2). :mod:`repro.data.synthetic` generates them,
+:mod:`repro.data.partition` splits them across workers exactly as data
+parallelism does, and :mod:`repro.data.loader` provides per-worker
+mini-batch iterators with per-epoch shuffling.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_gaussian_blobs,
+    make_spirals,
+    make_synthetic_images,
+)
+from repro.data.partition import partition_dataset
+from repro.data.loader import BatchLoader
+
+__all__ = [
+    "Dataset",
+    "make_gaussian_blobs",
+    "make_spirals",
+    "make_synthetic_images",
+    "partition_dataset",
+    "BatchLoader",
+]

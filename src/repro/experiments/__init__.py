@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per evaluation axis of the paper.
+
+* :mod:`repro.experiments.config` — canonical scaled configurations
+  (DESIGN.md §6 scale mapping);
+* :mod:`repro.experiments.accuracy` — Table II, Fig 1, Table IV;
+* :mod:`repro.experiments.sensitivity` — Table III;
+* :mod:`repro.experiments.scalability` — Fig 2, Fig 3;
+* :mod:`repro.experiments.optimizations` — Fig 4.
+
+Every driver returns a structured result object with a ``render()``
+method that prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.config import (
+    PAPER_HYPERPARAMS,
+    mini_accuracy_config,
+    mini_dgc_config,
+    timing_config,
+)
+
+__all__ = [
+    "PAPER_HYPERPARAMS",
+    "mini_accuracy_config",
+    "mini_dgc_config",
+    "timing_config",
+]

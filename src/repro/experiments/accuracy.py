@@ -1,0 +1,182 @@
+"""Table II / Fig 1 / Table IV drivers — model accuracy experiments.
+
+Table II: final top-1 accuracy of all seven algorithms at 24 workers
+with the authors' hyperparameters. Fig 1 reuses the same runs and
+reports the top-1 *error* trajectories against epochs (a) and wall
+time (b). Table IV compares BSP/ASP/SSP with and without DGC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.history import TrainingHistory
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import mini_accuracy_config, mini_dgc_config
+
+__all__ = [
+    "AccuracyResult",
+    "run_accuracy_experiment",
+    "run_table2",
+    "fig1_series",
+    "DGCAccuracyResult",
+    "run_table4",
+    "TABLE2_ALGORITHMS",
+    "PAPER_TABLE2",
+    "PAPER_TABLE4",
+]
+
+TABLE2_ALGORITHMS = ("bsp", "asp", "ssp", "easgd", "ar-sgd", "gosgd", "ad-psgd")
+
+# Paper reference values (Table II: ResNet-50 on ImageNet-1K, 24 workers).
+PAPER_TABLE2 = {
+    "bsp": 0.7511,
+    "asp": 0.7459,
+    "ssp": 0.6448,  # s = 10
+    "easgd": 0.4528,  # tau = 8
+    "ar-sgd": 0.7513,
+    "gosgd": 0.3938,  # p = 0.01
+    "ad-psgd": 0.7411,
+}
+
+# Paper Table IV (DGC accuracy effect, 24 workers).
+PAPER_TABLE4 = {
+    "bsp": (0.7511, 0.7505),
+    "asp": (0.7459, 0.7440),
+    "ssp_s3": (0.7282, 0.7295),
+    "ssp_s10": (0.6448, 0.6542),
+}
+
+
+@dataclass
+class AccuracyResult:
+    """Result of one Table II style sweep."""
+
+    num_workers: int
+    epochs: float
+    seeds: tuple[int, ...]
+    accuracies: dict[str, float] = field(default_factory=dict)  # mean over seeds
+    histories: dict[str, list[TrainingHistory]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [[a.upper(), self.accuracies[a], PAPER_TABLE2.get(a, float("nan"))]
+                for a in self.accuracies]
+        return format_table(
+            ["algorithm", "measured top-1 (mini)", "paper top-1 (ImageNet)"],
+            rows,
+            title=(
+                f"Table II — final accuracy, {self.num_workers} workers, "
+                f"{self.epochs:g} epochs, {len(self.seeds)} seed(s)"
+            ),
+        )
+
+
+def run_accuracy_experiment(
+    algorithms=TABLE2_ALGORITHMS,
+    *,
+    num_workers: int = 24,
+    epochs: float | None = None,
+    seeds: tuple[int, ...] = (0,),
+    fabric: str = "56g",
+    algorithm_params: dict | None = None,
+    **config_overrides,
+) -> AccuracyResult:
+    """Run the Table II protocol; mean final accuracy over seeds."""
+    kwargs = dict(num_workers=num_workers, fabric=fabric, **config_overrides)
+    if epochs is not None:
+        kwargs["epochs"] = epochs
+    from repro.experiments.config import MINI_EPOCHS
+
+    result = AccuracyResult(
+        num_workers=num_workers,
+        epochs=kwargs.get("epochs", MINI_EPOCHS),
+        seeds=tuple(seeds),
+    )
+    for algo in algorithms:
+        histories = []
+        for seed in seeds:
+            cfg = mini_accuracy_config(
+                algo, seed=seed, algorithm_params=algorithm_params, **kwargs
+            )
+            histories.append(DistributedRunner(cfg).run())
+        result.histories[algo] = histories
+        result.accuracies[algo] = float(
+            np.mean([h.final_test_accuracy for h in histories])
+        )
+    return result
+
+
+def run_table2(**kwargs) -> AccuracyResult:
+    """Alias with the paper's Table II protocol defaults."""
+    return run_accuracy_experiment(**kwargs)
+
+
+def fig1_series(result: AccuracyResult) -> dict[str, dict[str, list[float]]]:
+    """Fig 1 data from a Table II run: per algorithm, the top-1 error
+    against epochs (a) and against virtual time (b). Uses the first
+    seed's history (the paper plots single runs)."""
+    out: dict[str, dict[str, list[float]]] = {}
+    for algo, histories in result.histories.items():
+        h = histories[0]
+        out[algo] = {
+            "epochs": list(h.epochs),
+            "times": list(h.times),
+            "errors": h.error_curve(),
+        }
+    return out
+
+
+@dataclass
+class DGCAccuracyResult:
+    """Table IV: accuracy with and without DGC."""
+
+    rows: dict[str, tuple[float, float]] = field(default_factory=dict)  # (without, with)
+
+    def render(self) -> str:
+        table_rows = []
+        for name, (without, with_dgc) in self.rows.items():
+            paper = PAPER_TABLE4.get(name, (float("nan"), float("nan")))
+            table_rows.append([name, without, with_dgc, paper[0], paper[1]])
+        return format_table(
+            ["config", "no DGC (mini)", "DGC (mini)", "paper no DGC", "paper DGC"],
+            table_rows,
+            title="Table IV — effect of DGC on model accuracy",
+        )
+
+
+def run_table4(
+    *,
+    num_workers: int = 24,
+    epochs: float | None = None,
+    seeds: tuple[int, ...] = (0,),
+    **config_overrides,
+) -> DGCAccuracyResult:
+    """Table IV protocol: BSP, ASP, SSP(s=3), SSP(s=10) ± DGC."""
+    configs = [
+        ("bsp", "bsp", {}),
+        ("asp", "asp", {}),
+        ("ssp_s3", "ssp", {"staleness": 3}),
+        ("ssp_s10", "ssp", {"staleness": 10}),
+    ]
+    result = DGCAccuracyResult()
+    kwargs = dict(num_workers=num_workers, **config_overrides)
+    if epochs is not None:
+        kwargs["epochs"] = epochs
+    for name, algo, params in configs:
+        accs = {True: [], False: []}
+        for dgc in (False, True):
+            for seed in seeds:
+                cfg = mini_accuracy_config(
+                    algo,
+                    seed=seed,
+                    algorithm_params=params,
+                    dgc=dgc,
+                    dgc_config=mini_dgc_config(num_workers) if dgc else None,
+                    **kwargs,
+                )
+                accs[dgc].append(DistributedRunner(cfg).run().final_test_accuracy)
+        result.rows[name] = (float(np.mean(accs[False])), float(np.mean(accs[True])))
+    return result

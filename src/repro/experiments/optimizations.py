@@ -1,0 +1,103 @@
+"""Fig 4 driver — cumulative effect of the three optimizations.
+
+The paper measures the throughput of the centralized gradient-sending
+algorithms (BSP, ASP, SSP) with 8/16/24 workers while applying
+parameter sharding, then +wait-free BP, then +DGC, on both models and
+both fabrics.
+
+The ladder's baseline is the *unsharded* single-PS configuration
+(1 shard); "sharding" moves to the paper's profiled 1-PS-per-4-workers
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import timing_config
+
+__all__ = ["OptimizationLadderResult", "run_fig4", "LADDER"]
+
+# (label, config overrides applied on top of the timing defaults)
+LADDER: tuple[tuple[str, dict], ...] = (
+    ("baseline", dict(num_ps_shards=1)),
+    ("+sharding", dict()),
+    ("+waitfree", dict(wait_free_bp=True)),
+    ("+dgc", dict(wait_free_bp=True, dgc=True)),
+)
+
+
+@dataclass
+class OptimizationLadderResult:
+    """throughput[algorithm][(num_workers, ladder_label)] in img/s."""
+
+    model: str
+    bandwidth_gbps: float
+    worker_counts: tuple[int, ...]
+    throughput: dict[str, dict[tuple[int, str], float]] = field(default_factory=dict)
+
+    def ladder(self, algorithm: str, num_workers: int) -> list[tuple[str, float]]:
+        return [
+            (label, self.throughput[algorithm][(num_workers, label)])
+            for label, _ in LADDER
+        ]
+
+    def gain(self, algorithm: str, num_workers: int, label: str) -> float:
+        """Throughput of a ladder rung relative to the previous rung."""
+        labels = [l for l, _ in LADDER]
+        idx = labels.index(label)
+        if idx == 0:
+            return 1.0
+        cur = self.throughput[algorithm][(num_workers, label)]
+        prev = self.throughput[algorithm][(num_workers, labels[idx - 1])]
+        return cur / prev
+
+    def render(self) -> str:
+        headers = ["algorithm", "# workers", *(label for label, _ in LADDER)]
+        rows = []
+        for algo, cells in self.throughput.items():
+            for n in self.worker_counts:
+                rows.append(
+                    [algo.upper(), n, *(cells[(n, label)] for label, _ in LADDER)]
+                )
+        return format_table(
+            headers,
+            rows,
+            title=(
+                f"Fig 4 — throughput (img/s) with cumulative optimizations, "
+                f"{self.model} @ {self.bandwidth_gbps:g} Gbps"
+            ),
+            float_format="{:.0f}",
+        )
+
+
+def run_fig4(
+    *,
+    algorithms=("bsp", "asp", "ssp"),
+    model: str = "resnet50",
+    bandwidth_gbps: float = 10.0,
+    worker_counts: tuple[int, ...] = (8, 16, 24),
+    measure_iters: int = 20,
+    seed: int = 0,
+) -> OptimizationLadderResult:
+    result = OptimizationLadderResult(
+        model=model, bandwidth_gbps=bandwidth_gbps, worker_counts=tuple(worker_counts)
+    )
+    for algo in algorithms:
+        result.throughput[algo] = {}
+        for n in worker_counts:
+            for label, overrides in LADDER:
+                cfg = timing_config(
+                    algo,
+                    num_workers=n,
+                    bandwidth_gbps=bandwidth_gbps,
+                    model=model,
+                    measure_iters=measure_iters,
+                    seed=seed,
+                    **overrides,
+                )
+                res = DistributedRunner(cfg).run()
+                result.throughput[algo][(n, label)] = res.throughput
+    return result

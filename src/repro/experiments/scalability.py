@@ -1,0 +1,162 @@
+"""Fig 2 / Fig 3 drivers — throughput scalability and time breakdown.
+
+Fig 2: speedup (vs one communication-free worker) of BSP, ASP, SSP,
+AR-SGD and AD-PSGD for 1–24 workers, on 10 and 56 Gbps, for ResNet-50
+and VGG-16 (parameter sharding and wait-free BP enabled where
+applicable, as in the paper's protocol).
+
+Fig 3: the per-iteration breakdown (compute / local agg / global agg /
+comm) of the same configurations at 24 workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.breakdown import breakdown_table, normalize_breakdown
+from repro.analysis.scalability import ideal_single_worker_throughput
+from repro.analysis.tables import format_table
+from repro.core.history import ThroughputResult
+from repro.core.runner import DistributedRunner, PROFILES
+from repro.experiments.config import timing_config
+from repro.sim.cluster import TITAN_V
+
+__all__ = [
+    "ScalabilityResult",
+    "run_fig2",
+    "BreakdownResult",
+    "run_fig3",
+    "FIG2_ALGORITHMS",
+]
+
+# EASGD and GoSGD are excluded "because they incur a substantial model
+# accuracy loss" (§VI-C).
+FIG2_ALGORITHMS = ("bsp", "asp", "ssp", "ar-sgd", "ad-psgd")
+
+
+def _supports(algo: str, what: str) -> bool:
+    centralized = algo in ("bsp", "asp", "ssp", "easgd")
+    if what == "sharding":
+        return centralized
+    # Wait-free BP overlap: the paper's AR-SGD uses standard (blocking)
+    # MPICH AllReduce, so per-layer overlap applies to the PS-based
+    # gradient senders only.
+    return algo in ("bsp", "asp", "ssp")
+
+
+@dataclass
+class ScalabilityResult:
+    """speedup[algorithm][(bandwidth, num_workers)] plus raw results."""
+
+    model: str
+    worker_counts: tuple[int, ...]
+    bandwidths: tuple[float, ...]
+    baseline_throughput: float = 0.0
+    speedup: dict[str, dict[tuple[float, int], float]] = field(default_factory=dict)
+    raw: dict[str, dict[tuple[float, int], ThroughputResult]] = field(default_factory=dict)
+
+    def series(self, algorithm: str, bandwidth: float) -> list[tuple[int, float]]:
+        return sorted(
+            (n, s) for (bw, n), s in self.speedup[algorithm].items() if bw == bandwidth
+        )
+
+    def render(self) -> str:
+        blocks = []
+        for bw in self.bandwidths:
+            headers = ["# workers", *(a.upper() for a in self.speedup)]
+            rows = [
+                [n, *(self.speedup[a][(bw, n)] for a in self.speedup)]
+                for n in self.worker_counts
+            ]
+            blocks.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=f"Fig 2 — {self.model} speedup over 1 worker @ {bw:g} Gbps",
+                    float_format="{:.2f}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig2(
+    *,
+    model: str = "resnet50",
+    algorithms=FIG2_ALGORITHMS,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 24),
+    bandwidths: tuple[float, ...] = (10.0, 56.0),
+    measure_iters: int = 20,
+    with_optimizations: bool = True,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Run the Fig 2 protocol.
+
+    ``with_optimizations`` applies the two accuracy-neutral techniques
+    (sharding + wait-free BP) where each algorithm supports them, as
+    the paper does for this experiment.
+    """
+    profile = PROFILES[model]()
+    batch = 128 if model == "resnet50" else 96
+    baseline = ideal_single_worker_throughput(profile, batch, TITAN_V)
+    result = ScalabilityResult(
+        model=model,
+        worker_counts=tuple(worker_counts),
+        bandwidths=tuple(bandwidths),
+        baseline_throughput=baseline,
+    )
+    for algo in algorithms:
+        result.speedup[algo] = {}
+        result.raw[algo] = {}
+        for bw in bandwidths:
+            for n in worker_counts:
+                cfg = timing_config(
+                    algo,
+                    num_workers=n,
+                    bandwidth_gbps=bw,
+                    model=model,
+                    measure_iters=measure_iters,
+                    wait_free_bp=with_optimizations and _supports(algo, "waitfree"),
+                    seed=seed,
+                )
+                res = DistributedRunner(cfg).run()
+                result.raw[algo][(bw, n)] = res
+                result.speedup[algo][(bw, n)] = res.throughput / baseline
+    return result
+
+
+@dataclass
+class BreakdownResult:
+    """Fig 3: normalised breakdown per (algorithm, model, bandwidth)."""
+
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return breakdown_table(self.rows, title="Fig 3 — time breakdown (fractions)")
+
+
+def run_fig3(
+    *,
+    algorithms=("bsp", "asp", "ssp", "ad-psgd"),
+    models: tuple[str, ...] = ("resnet50", "vgg16"),
+    bandwidths: tuple[float, ...] = (10.0, 56.0),
+    num_workers: int = 24,
+    measure_iters: int = 15,
+    seed: int = 0,
+) -> BreakdownResult:
+    """Run the Fig 3 protocol: breakdowns at full cluster scale."""
+    result = BreakdownResult()
+    for model in models:
+        for bw in bandwidths:
+            for algo in algorithms:
+                cfg = timing_config(
+                    algo,
+                    num_workers=num_workers,
+                    bandwidth_gbps=bw,
+                    model=model,
+                    measure_iters=measure_iters,
+                    seed=seed,
+                )
+                res = DistributedRunner(cfg).run()
+                key = f"{algo.upper()} {model} {bw:g}G"
+                result.rows[key] = normalize_breakdown(res.breakdown)
+    return result

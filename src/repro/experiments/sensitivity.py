@@ -1,0 +1,100 @@
+"""Table III driver — hyperparameter / worker-count sensitivity.
+
+The paper trains the five asynchronous algorithms with 4/8/16/24
+workers, crossing SSP s∈{3,10}, EASGD τ∈{4,8}, GoSGD p∈{1,0.1,0.01},
+plus BSP as the stability reference, and reports final accuracy for
+every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import mini_accuracy_config
+
+__all__ = ["SensitivityResult", "run_table3", "TABLE3_COLUMNS", "PAPER_TABLE3"]
+
+# Column spec: (label, algorithm, hyperparameters) — Table III layout.
+TABLE3_COLUMNS: tuple[tuple[str, str, dict], ...] = (
+    ("BSP", "bsp", {}),
+    ("ASP", "asp", {}),
+    ("SSP s=3", "ssp", {"staleness": 3}),
+    ("SSP s=10", "ssp", {"staleness": 10}),
+    ("EASGD t=4", "easgd", {"tau": 4}),
+    ("EASGD t=8", "easgd", {"tau": 8}),
+    ("GoSGD p=1", "gosgd", {"p": 1.0}),
+    ("GoSGD p=0.1", "gosgd", {"p": 0.1}),
+    ("GoSGD p=0.01", "gosgd", {"p": 0.01}),
+    ("AD-PSGD", "ad-psgd", {}),
+)
+
+PAPER_TABLE3: dict[str, dict[int, float]] = {
+    "BSP": {4: 0.7514, 8: 0.7509, 16: 0.7496, 24: 0.7511},
+    "ASP": {4: 0.7508, 8: 0.7482, 16: 0.7447, 24: 0.7459},
+    "SSP s=3": {4: 0.7480, 8: 0.7450, 16: 0.7393, 24: 0.7282},
+    "SSP s=10": {4: 0.7462, 8: 0.7412, 16: 0.7147, 24: 0.6448},
+    "EASGD t=4": {4: 0.7028, 8: 0.6357, 16: 0.5416, 24: 0.4709},
+    "EASGD t=8": {4: 0.7027, 8: 0.6269, 16: 0.5237, 24: 0.4528},
+    "GoSGD p=1": {4: 0.7160, 8: 0.6529, 16: 0.5492, 24: 0.4641},
+    "GoSGD p=0.1": {4: 0.6892, 8: 0.6173, 16: 0.5135, 24: 0.4475},
+    "GoSGD p=0.01": {4: 0.6775, 8: 0.5845, 16: 0.4922, 24: 0.3938},
+    "AD-PSGD": {4: 0.7483, 8: 0.7447, 16: 0.7439, 24: 0.7411},
+}
+
+
+@dataclass
+class SensitivityResult:
+    """accuracy[column_label][num_workers] = mean final accuracy."""
+
+    worker_counts: tuple[int, ...]
+    seeds: tuple[int, ...]
+    accuracy: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["# workers", *self.accuracy.keys()]
+        rows = [
+            [n, *(self.accuracy[label][n] for label in self.accuracy)]
+            for n in self.worker_counts
+        ]
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table III — accuracy vs workers and hyperparameters "
+                f"({len(self.seeds)} seed(s))"
+            ),
+        )
+
+    def degradation(self, label: str) -> float:
+        """Accuracy drop from the smallest to the largest worker count."""
+        series = self.accuracy[label]
+        return series[self.worker_counts[0]] - series[self.worker_counts[-1]]
+
+
+def run_table3(
+    columns=TABLE3_COLUMNS,
+    *,
+    worker_counts: tuple[int, ...] = (4, 8, 16, 24),
+    seeds: tuple[int, ...] = (0,),
+    epochs: float | None = None,
+    **config_overrides,
+) -> SensitivityResult:
+    result = SensitivityResult(worker_counts=tuple(worker_counts), seeds=tuple(seeds))
+    kwargs = dict(config_overrides)
+    if epochs is not None:
+        kwargs["epochs"] = epochs
+    for label, algo, params in columns:
+        result.accuracy[label] = {}
+        for n in worker_counts:
+            accs = []
+            for seed in seeds:
+                cfg = mini_accuracy_config(
+                    algo, num_workers=n, seed=seed, algorithm_params=params, **kwargs
+                )
+                accs.append(DistributedRunner(cfg).run().final_test_accuracy)
+            result.accuracy[label][n] = float(np.mean(accs))
+    return result

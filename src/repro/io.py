@@ -1,0 +1,124 @@
+"""Result serialization: save/load experiment results as JSON.
+
+Every result type used by the experiment drivers round-trips through
+plain JSON so that runs can be archived, diffed against the paper's
+values, and re-rendered without re-running the simulation (the CLI's
+``--output`` flag uses this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.history import ThroughputResult, TrainingHistory
+
+__all__ = [
+    "to_jsonable",
+    "save_json",
+    "load_json",
+    "history_to_dict",
+    "history_from_dict",
+    "throughput_to_dict",
+    "throughput_from_dict",
+]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert results/numpy values to JSON-compatible data.
+
+    Dict keys that are tuples (e.g. ``(bandwidth, workers)``) become
+    ``"|"``-joined strings; dataclasses become dicts; numpy scalars and
+    arrays become Python numbers and lists. Unserialisable leaves (the
+    embedded ``RunConfig``) are replaced by their ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if isinstance(key, tuple):
+                key = "|".join(str(k) for k in key)
+            out[str(key)] = to_jsonable(value)
+        return out
+    if is_dataclass(obj) and not isinstance(obj, type):
+        try:
+            return to_jsonable(asdict(obj))
+        except Exception:
+            return repr(obj)
+    return repr(obj)
+
+
+def save_json(obj: Any, path: str | Path) -> Path:
+    """Serialise ``obj`` (any driver result) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    return json.loads(Path(path).read_text())
+
+
+# -- typed round-trips for the two primitive result types ----------------
+
+_HISTORY_FIELDS = (
+    "algorithm",
+    "num_workers",
+    "epochs",
+    "times",
+    "test_accuracy",
+    "train_loss",
+    "total_iterations",
+    "total_virtual_time",
+)
+
+
+def history_to_dict(history: TrainingHistory) -> dict:
+    return {field: to_jsonable(getattr(history, field)) for field in _HISTORY_FIELDS}
+
+
+def history_from_dict(data: dict) -> TrainingHistory:
+    history = TrainingHistory()
+    for field in _HISTORY_FIELDS:
+        if field in data:
+            setattr(history, field, data[field])
+    return history
+
+
+_THROUGHPUT_FIELDS = (
+    "algorithm",
+    "num_workers",
+    "model",
+    "bandwidth_gbps",
+    "iterations_per_worker",
+    "batch_size",
+    "measured_time",
+    "measured_images",
+    "breakdown",
+)
+
+
+def throughput_to_dict(result: ThroughputResult) -> dict:
+    return {field: to_jsonable(getattr(result, field)) for field in _THROUGHPUT_FIELDS}
+
+
+def throughput_from_dict(data: dict) -> ThroughputResult:
+    result = ThroughputResult()
+    for field in _THROUGHPUT_FIELDS:
+        if field in data:
+            setattr(result, field, data[field])
+    return result

@@ -1,0 +1,84 @@
+"""Pure-numpy deep-learning substrate.
+
+This subpackage replaces the TensorFlow 1.12 substrate used by the
+paper. It provides:
+
+* :mod:`repro.nn.module` — ``Parameter``/``Module`` abstractions with
+  explicit ``forward``/``backward`` passes and flat-vector views of the
+  parameters and gradients (the representation the distributed
+  algorithms exchange).
+* layers (dense, convolution, pooling, batch-norm, activations,
+  dropout) in :mod:`repro.nn.layers`, :mod:`repro.nn.conv`,
+  :mod:`repro.nn.normalization`, :mod:`repro.nn.activations`.
+* losses (:mod:`repro.nn.losses`), optimizers (:mod:`repro.nn.optim`)
+  and learning-rate schedules (:mod:`repro.nn.schedules`) matching the
+  paper's training recipe (momentum SGD, linear-scaling rule, gradual
+  warm-up, step decay).
+* runnable models (:mod:`repro.nn.models`) and full-size layer
+  profiles of ResNet-50 / VGG-16 (:mod:`repro.nn.zoo`) consumed by the
+  timing simulator.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dense, Dropout, Flatten, Identity
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.conv import AvgPool2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.normalization import BatchNorm1d, BatchNorm2d
+from repro.nn.losses import Loss, MSELoss, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Optimizer
+from repro.nn.schedules import (
+    ConstantSchedule,
+    LRSchedule,
+    StepDecaySchedule,
+    WarmupStepSchedule,
+    scaled_learning_rate,
+)
+from repro.nn.models import MLP, MiniResNet, MiniVGG, ResidualBlock, build_model
+from repro.nn.zoo import (
+    LayerProfile,
+    ModelProfile,
+    mini_profile_from_model,
+    resnet50_profile,
+    vgg16_profile,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Loss",
+    "MSELoss",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "LRSchedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "WarmupStepSchedule",
+    "scaled_learning_rate",
+    "MLP",
+    "MiniResNet",
+    "MiniVGG",
+    "ResidualBlock",
+    "build_model",
+    "LayerProfile",
+    "ModelProfile",
+    "resnet50_profile",
+    "vgg16_profile",
+    "mini_profile_from_model",
+]

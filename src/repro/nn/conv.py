@@ -1,0 +1,243 @@
+"""Convolution and pooling layers (NCHW layout, im2col-based).
+
+The forward/backward passes are fully vectorised: convolution is a
+single GEMM over an im2col patch matrix, as the guides recommend for
+numpy HPC code, and the col2im scatter uses ``np.add.at`` only on the
+padded buffer (one call per backward pass).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "im2col", "col2im"]
+
+Initializer = Callable[[np.random.Generator, tuple[int, ...]], np.ndarray]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Extract sliding patches.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols, (out_h, out_w):
+        ``cols`` has shape ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = _out_size(h, kh, stride, padding)
+    out_w = _out_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Strided view: (N, C, out_h, out_w, kh, kw)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch gradients back."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    out_h = _out_size(h, kh, stride, padding)
+    out_w = _out_size(w, kw, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Accumulate each kernel offset as one vectorised slice-add.
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, :, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution, ``(N, C_in, H, W) -> (N, C_out, H', W')``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+        weight_init: Initializer = initializers.he_normal,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(weight_init(rng, (out_channels, in_channels, kh, kw)))
+        self.bias = Parameter(np.zeros(out_channels), weight_decay=False) if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects (N, C, H, W); got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {x.shape[1]}")
+        n = x.shape[0]
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        w2d = self.weight.value.reshape(self.out_channels, -1)  # (C_out, C*kh*kw)
+        out = cols @ w2d.T  # (N*out_h*out_w, C_out)
+        if self.bias is not None:
+            out += self.bias.value
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        n = self._x_shape[0]
+        out_h, out_w = self._out_hw
+        g2d = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        self.weight.grad += (g2d.T @ self._cols).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.bias.grad += g2d.sum(axis=0)
+        grad_cols = g2d @ self.weight.value.reshape(self.out_channels, -1)
+        return col2im(grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding)
+
+
+class MaxPool2d(Module):
+    """Max pooling with kernel == window, arbitrary stride."""
+
+    def __init__(self, kernel_size: int, *, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._argmax: np.ndarray | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        # Treat channels as part of the batch so im2col keeps patches per-channel.
+        cols, (out_h, out_w) = im2col(
+            x.reshape(n * c, 1, h, w), (k, k), self.stride, self.padding
+        )
+        # cols: (N*C*out_h*out_w, k*k)
+        self._argmax = np.argmax(cols, axis=1)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        out = cols[np.arange(cols.shape[0]), self._argmax]
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._argmax is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        rows = grad_out.reshape(-1)
+        grad_cols = np.zeros((rows.size, k * k), dtype=np.float64)
+        grad_cols[np.arange(rows.size), self._argmax] = rows
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), (k, k), self.stride, self.padding)
+        return grad_x.reshape(n, c, h, w)
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel_size: int, *, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        cols, (out_h, out_w) = im2col(
+            x.reshape(n * c, 1, h, w), (k, k), self.stride, self.padding
+        )
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        rows = grad_out.reshape(-1)
+        grad_cols = np.repeat(rows[:, None] / (k * k), k * k, axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), (k, k), self.stride, self.padding)
+        return grad_x.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pooling, ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(grad_out[:, :, None, None] / (h * w), (n, c, h, w)).copy()

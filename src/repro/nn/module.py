@@ -1,0 +1,254 @@
+"""``Parameter`` / ``Module`` abstractions with explicit backprop.
+
+The distributed training algorithms exchange parameters and gradients
+as flat float64 vectors (exactly what goes on the wire in the paper's
+MPI implementation), so ``Module`` exposes
+:meth:`Module.get_flat_parameters` / :meth:`Module.set_flat_parameters`
+/ :meth:`Module.get_flat_gradients` alongside the usual structured
+views. Layer boundaries within the flat vector are described by
+:meth:`Module.parameter_layout`, which the layer-wise parameter-sharding
+optimization consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential", "ParameterSlice"]
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient buffer.
+
+    Attributes
+    ----------
+    value:
+        The parameter tensor (float64).
+    grad:
+        Gradient of the loss w.r.t. ``value``; same shape. Reset by
+        :meth:`Module.zero_grad`, accumulated by backward passes.
+    weight_decay:
+        Whether L2 weight decay applies. Follows the common recipe of
+        decaying weights but not biases / batch-norm scales.
+    """
+
+    __slots__ = ("value", "grad", "weight_decay", "name")
+
+    def __init__(self, value: np.ndarray, *, weight_decay: bool = True, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.weight_decay = weight_decay
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+@dataclass(frozen=True)
+class ParameterSlice:
+    """Location of one named parameter inside the flat vector."""
+
+    name: str
+    start: int
+    stop: int
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`. The
+    backward pass receives the gradient of the loss with respect to the
+    module output and must (a) accumulate gradients into its
+    parameters' ``grad`` buffers and (b) return the gradient with
+    respect to its input.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._children: dict[str, "Module"] = {}
+        self.training: bool = True
+
+    # -- registration ------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_child(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})
+            value.name = name
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_children", {})
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ----------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._children.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- train/eval ----------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- forward/backward ----------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- flat views ------------------------------------------------------
+    def parameter_layout(self) -> list[ParameterSlice]:
+        """Describe how named parameters pack into the flat vector.
+
+        The order is the deterministic ``named_parameters`` traversal
+        order, so all workers that build the same architecture agree on
+        the layout — a precondition for exchanging flat vectors.
+        """
+        layout: list[ParameterSlice] = []
+        offset = 0
+        for name, param in self.named_parameters():
+            layout.append(
+                ParameterSlice(name=name, start=offset, stop=offset + param.size, shape=param.shape)
+            )
+            offset += param.size
+        return layout
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """Concatenate all parameters into one float64 vector (a copy)."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.value.ravel() for p in params])
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load parameter values from a flat vector produced by
+        :meth:`get_flat_parameters` on an identically-shaped module."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_parameters()
+        if flat.size != expected:
+            raise ValueError(f"flat vector has {flat.size} elements, model needs {expected}")
+        offset = 0
+        for param in self.parameters():
+            chunk = flat[offset : offset + param.size]
+            param.value[...] = chunk.reshape(param.shape)
+            offset += param.size
+
+    def get_flat_gradients(self) -> np.ndarray:
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.grad.ravel() for p in params])
+
+    def set_flat_gradients(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_parameters()
+        if flat.size != expected:
+            raise ValueError(f"flat vector has {flat.size} elements, model needs {expected}")
+        offset = 0
+        for param in self.parameters():
+            chunk = flat[offset : offset + param.size]
+            param.grad[...] = chunk.reshape(param.shape)
+            offset += param.size
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every named parameter (useful for checkpoint tests)."""
+        return {name: param.value.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
+            param.value[...] = value
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: list[Module] = []
+        for i, layer in enumerate(layers):
+            self.layers.append(layer)
+            self.register_child(f"layer{i}", layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        index = len(self.layers)
+        self.layers.append(layer)
+        self.register_child(f"layer{index}", layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,100 @@
+"""Batch normalisation layers.
+
+ResNets depend on batch norm to train at any depth; the paper's
+ResNet-50 uses it after every convolution. ``gamma``/``beta`` are
+excluded from weight decay per the standard recipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNormBase(Module):
+    def __init__(self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), weight_decay=False)
+        self.beta = Parameter(np.zeros(num_features), weight_decay=False)
+        # Running statistics are buffers, not parameters: they are not
+        # exchanged by the distributed algorithms (each worker keeps its
+        # own, as TF's replicated batch-norm does).
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def _axes(self, x: np.ndarray) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _reshape(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * mean
+            self.running_var = m * self.running_var + (1 - m) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = self._reshape(mean, x.ndim)
+        var_b = self._reshape(var, x.ndim)
+        inv_std = 1.0 / np.sqrt(var_b + self.eps)
+        x_hat = (x - mean_b) * inv_std
+        if self.training:
+            count = int(np.prod([x.shape[a] for a in axes]))
+            self._cache = (x_hat, inv_std, count)
+        out = self._reshape(self.gamma.value, x.ndim) * x_hat + self._reshape(
+            self.beta.value, x.ndim
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (in training mode)")
+        x_hat, inv_std, count = self._cache
+        axes = self._axes(grad_out)
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        gamma_b = self._reshape(self.gamma.value, grad_out.ndim)
+        g = grad_out * gamma_b
+        g_sum = self._reshape(g.sum(axis=axes), grad_out.ndim)
+        gx_sum = self._reshape((g * x_hat).sum(axis=axes), grad_out.ndim)
+        return inv_std / count * (count * g - g_sum - x_hat * gx_sum)
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch norm over ``(batch,)`` for inputs of shape ``(N, F)``."""
+
+    def _axes(self, x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, F); got shape {x.shape}")
+        return (0,)
+
+    def _reshape(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v.reshape(1, -1)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch norm over ``(batch, H, W)`` for inputs of shape ``(N, C, H, W)``."""
+
+    def _axes(self, x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W); got shape {x.shape}")
+        return (0, 2, 3)
+
+    def _reshape(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v.reshape(1, -1, 1, 1)

@@ -1,0 +1,29 @@
+"""The three optimization techniques of §V.
+
+* :mod:`repro.optimizations.sharding` — parameter sharding across
+  multiple PS shards (layer-wise, as TensorFlow does; plus ablation
+  strategies);
+* :mod:`repro.optimizations.waitfree` — wait-free backpropagation:
+  layer-gradient communication overlapped with the remaining backward
+  computation;
+* :mod:`repro.optimizations.dgc` — deep gradient compression (Lin et
+  al., ICLR'18): top-0.1 % sparsification with local gradient
+  accumulation, momentum correction, gradient clipping, momentum
+  factor masking, and warm-up.
+"""
+
+from repro.optimizations.sharding import ShardAssignment, ShardingPlan, make_sharding_plan
+from repro.optimizations.waitfree import CommPlan, CommPlanEntry, make_comm_plan
+from repro.optimizations.dgc import DGCCompressor, DGCConfig, SparseGradient
+
+__all__ = [
+    "ShardingPlan",
+    "ShardAssignment",
+    "make_sharding_plan",
+    "CommPlan",
+    "CommPlanEntry",
+    "make_comm_plan",
+    "DGCConfig",
+    "DGCCompressor",
+    "SparseGradient",
+]

@@ -1,0 +1,140 @@
+"""Cluster specifications.
+
+The paper's testbed (§VI "System setting"): 3 physical machines, each
+with 8 NVIDIA TITAN V GPUs (14.90 TFLOPS, 12 GB), split into 6
+light-weight VMs of 4 GPUs each, inter-connected by 10 Gbps Ethernet
+and 56 Gbps InfiniBand. :func:`paper_cluster` builds exactly that.
+
+Workers map onto GPUs machine-by-machine (workers 0–3 on VM 0, 4–7 on
+VM 1, …), matching the paper's placement — this is what makes *local
+aggregation* (within-VM gradient reduction) meaningful for BSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "MachineSpec", "ClusterSpec", "paper_cluster", "TITAN_V"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model's compute capability."""
+
+    name: str
+    tflops: float  # peak single-precision TFLOPS
+    memory_gb: float
+    # Fraction of peak FLOPS actually sustained on conv nets. 0.33 is a
+    # typical utilisation for TF 1.x-era CNN training on Volta.
+    efficiency: float = 0.33
+
+    def __post_init__(self) -> None:
+        if self.tflops <= 0:
+            raise ValueError("tflops must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s."""
+        return self.tflops * 1e12 * self.efficiency
+
+
+TITAN_V = GPUSpec(name="TITAN V", tflops=14.90, memory_gb=12.0)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One (virtual) machine: some GPUs and a NIC."""
+
+    gpus: int
+    gpu: GPUSpec = TITAN_V
+    # Effective intra-machine aggregation bandwidth. Raw PCIe is ~12
+    # GB/s, but TF-1.x local aggregation staged through host memory
+    # (device→host copy, CPU add, host→device) sustains ~4 GB/s.
+    intra_bandwidth_gbps: float = 36.0
+    intra_latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.gpus <= 0:
+            raise ValueError("gpus must be positive")
+        if self.intra_bandwidth_gbps <= 0:
+            raise ValueError("intra_bandwidth_gbps must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of machines on a shared switched network."""
+
+    machines: int
+    machine: MachineSpec
+    network_bandwidth_gbps: float
+    network_latency_s: float = 50e-6
+    # Achievable goodput as a fraction of line rate. TCP/gRPC on
+    # Ethernet under incast sustains far less than wire speed; RDMA
+    # fabrics do much better.
+    network_efficiency: float = 0.9
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.machines <= 0:
+            raise ValueError("machines must be positive")
+        if self.network_bandwidth_gbps <= 0:
+            raise ValueError("network_bandwidth_gbps must be positive")
+        if self.network_latency_s < 0:
+            raise ValueError("network_latency_s must be non-negative")
+        if not 0 < self.network_efficiency <= 1:
+            raise ValueError("network_efficiency must be in (0, 1]")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.machines * self.machine.gpus
+
+    @property
+    def network_bytes_per_s(self) -> float:
+        # Gbps are decimal gigabits.
+        return self.network_bandwidth_gbps * 1e9 / 8 * self.network_efficiency
+
+    @property
+    def intra_bytes_per_s(self) -> float:
+        return self.machine.intra_bandwidth_gbps * 1e9 / 8 * 0.9
+
+    def machine_of_worker(self, worker: int) -> int:
+        """Machine index hosting ``worker`` (block placement)."""
+        if not 0 <= worker < self.total_gpus:
+            raise ValueError(f"worker {worker} out of range for {self.total_gpus} GPUs")
+        return worker // self.machine.gpus
+
+    def workers_of_machine(self, machine: int) -> list[int]:
+        if not 0 <= machine < self.machines:
+            raise ValueError(f"machine {machine} out of range")
+        g = self.machine.gpus
+        return list(range(machine * g, (machine + 1) * g))
+
+    def colocated(self, a: int, b: int) -> bool:
+        return self.machine_of_worker(a) == self.machine_of_worker(b)
+
+
+def paper_cluster(
+    *,
+    bandwidth_gbps: float = 56.0,
+    machines: int = 6,
+    gpus_per_machine: int = 4,
+) -> ClusterSpec:
+    """The paper's evaluation cluster: 6 VMs × 4 TITAN V GPUs.
+
+    ``bandwidth_gbps`` selects between the 10 Gbps Ethernet and
+    56 Gbps InfiniBand fabrics the paper alternates between.
+    """
+    # 10 Gbps Ethernet carries TCP/gRPC traffic; under the many-to-one
+    # incast of PS training, TF-1.x-era stacks sustain well under half
+    # of line rate (TCP incast collapse + gRPC serialisation). The
+    # 56 Gbps InfiniBand fabric (IPoIB, deep buffers) does much better.
+    efficiency = 0.45 if bandwidth_gbps <= 10 else 0.75
+    return ClusterSpec(
+        machines=machines,
+        machine=MachineSpec(gpus=gpus_per_machine),
+        network_bandwidth_gbps=bandwidth_gbps,
+        network_efficiency=efficiency,
+        name=f"paper-{bandwidth_gbps:g}gbps",
+    )

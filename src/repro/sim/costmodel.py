@@ -1,0 +1,141 @@
+"""Compute- and communication-cost models.
+
+Compute time per training iteration is
+
+    t = (train_flops_per_image × batch) / (GPU effective FLOPS × speed_i) × jitter
+
+where ``speed_i`` is a *persistent* per-worker speed factor (drawn
+once; models the paper's observation that even a homogeneous cluster
+shows ~5 % spread between the fastest and slowest workers, §VI-C) and
+``jitter`` is a per-iteration lognormal fluctuation (OS noise, data
+pipeline hiccups — the transient stragglers that make synchronous
+algorithms wait).
+
+PS-side aggregation cost is modelled per byte (``ps_agg_seconds_per_byte``);
+the paper measured that the *actual* aggregation is only ~30 % of the
+global aggregation stage, the rest being waiting — the tracer
+distinguishes the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.zoo import ModelProfile
+from repro.sim.cluster import GPUSpec
+
+__all__ = ["ComputeModel", "CommModel"]
+
+
+@dataclass
+class CommModel:
+    """Constants for non-network communication costs."""
+
+    # Aggregation arithmetic at a PS or reducing worker. The raw
+    # vector add runs at memory speed, but the TF-1.x PS path
+    # (deserialise → accumulate → apply → serialise) sustains ~1 GB/s,
+    # which is what the paper's global-aggregation bars reflect.
+    agg_seconds_per_byte: float = 1.0 / 1e9
+    # Worker-side collective reduction (MPI ring step): a plain
+    # vector add over received chunks, no (de)serialisation framework
+    # in the path — considerably faster than the PS pipeline.
+    reduce_seconds_per_byte: float = 1.0 / 2.5e9
+    # Fixed per-message software overhead (syscall + framing).
+    per_message_overhead_s: float = 20e-6
+    # Gradient top-k selection cost for DGC (sampled threshold, ~1 pass).
+    dgc_select_seconds_per_byte: float = 1.0 / 6e9
+
+    def agg_time(self, nbytes: int) -> float:
+        return self.per_message_overhead_s + nbytes * self.agg_seconds_per_byte
+
+    def reduce_time(self, nbytes: int) -> float:
+        return self.per_message_overhead_s + nbytes * self.reduce_seconds_per_byte
+
+    def dgc_select_time(self, nbytes: int) -> float:
+        return nbytes * self.dgc_select_seconds_per_byte
+
+
+class ComputeModel:
+    """Per-worker iteration compute-time sampler.
+
+    Parameters
+    ----------
+    profile:
+        Layer profile supplying FLOPs per image.
+    batch_size:
+        Per-worker mini-batch size.
+    gpu:
+        GPU spec supplying effective FLOP/s.
+    num_workers:
+        Number of workers to draw persistent speed factors for.
+    speed_spread:
+        Max fractional gap between fastest and slowest persistent
+        worker speeds (paper: ~5 %).
+    jitter_sigma:
+        Sigma of the per-iteration lognormal jitter.
+    seed:
+        RNG seed; the model owns its generator so that compute-time
+        draws are independent of algorithmic randomness.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        batch_size: int,
+        gpu: GPUSpec,
+        num_workers: int,
+        *,
+        speed_spread: float = 0.05,
+        jitter_sigma: float = 0.02,
+        seed: int = 0,
+        base_time_override: float | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not 0 <= speed_spread < 1:
+            raise ValueError("speed_spread must be in [0, 1)")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        self.profile = profile
+        self.batch_size = batch_size
+        self.gpu = gpu
+        self.num_workers = num_workers
+        self.speed_spread = speed_spread
+        self.jitter_sigma = jitter_sigma
+        self._rng = np.random.default_rng(seed)
+        # Persistent speeds uniform in [1 - spread, 1]: worker ranks keep
+        # stable fast/slow identities across the whole run.
+        self.speeds = 1.0 - self._rng.uniform(0.0, speed_spread, size=num_workers)
+        # ``base_time_override`` decouples the virtual compute time from
+        # the profile's FLOP count — full-mode runs use it to give the
+        # tiny trainable models the compute/communication time *ratio*
+        # of the paper's real models (DESIGN.md §6).
+        if base_time_override is not None:
+            if base_time_override <= 0:
+                raise ValueError("base_time_override must be positive")
+            self.base_time = base_time_override
+        else:
+            self.base_time = profile.train_flops * batch_size / gpu.effective_flops
+
+    def iteration_time(self, worker: int) -> float:
+        """Sample the compute duration of one iteration for ``worker``."""
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        jitter = 1.0
+        if self.jitter_sigma > 0:
+            jitter = float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+        return self.base_time / self.speeds[worker] * jitter
+
+    def mean_iteration_time(self, worker: int) -> float:
+        """Expected compute duration (no jitter draw) for ``worker``."""
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range")
+        return self.base_time / self.speeds[worker]
+
+    def backward_fraction(self) -> float:
+        """Fraction of an iteration spent in backprop (2 of 3 passes)."""
+        return 2.0 / 3.0

@@ -1,0 +1,311 @@
+"""Process-based discrete-event engine.
+
+Simulation processes are plain Python generators that ``yield``
+waitable primitives:
+
+* ``Timeout(dt)`` — advance this process's virtual clock by ``dt``;
+* ``Get(store)`` — block until an item is available in a
+  :class:`Store` (FIFO channel), resuming with the item;
+* ``Signal`` — one-shot broadcast event (``yield signal`` blocks until
+  somebody calls :meth:`Signal.trigger`);
+* ``Barrier.wait()`` — cyclic barrier: the n-th arriving process
+  releases everyone (this is how synchronous aggregation waits are
+  modelled);
+* ``AllOf([...])`` — conjunction of signals;
+* another :class:`Process` — block until it finishes, resuming with
+  its return value.
+
+All wake-ups go through the event queue (never reentrant calls), and
+ties are FIFO-ordered, so runs are deterministic given fixed seeds.
+This mirrors the structure of SimPy but is self-contained, dependency
+free, and only ~250 lines — small enough to property-test exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.events import EventQueue
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Timeout",
+    "Get",
+    "Store",
+    "Signal",
+    "Barrier",
+    "AllOf",
+    "Interrupt",
+]
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+
+class Timeout:
+    """Wait for a fixed virtual-time duration."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
+
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        engine._schedule(self.delay, lambda: process._resume(None))
+
+
+class Signal:
+    """One-shot broadcast event carrying an optional value."""
+
+    __slots__ = ("triggered", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None, *, engine: "Engine" | None = None) -> None:
+        """Fire the signal, waking all current and future waiters.
+
+        If ``engine`` is given, wake-ups are scheduled as zero-delay
+        events (preserving FIFO fairness); otherwise they run inline.
+        """
+        if self.triggered:
+            raise RuntimeError("signal already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            if engine is not None:
+                engine._schedule(0.0, lambda w=wake: w(value))
+            else:
+                wake(value)
+
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        if self.triggered:
+            engine._schedule(0.0, lambda: process._resume(self.value))
+        else:
+            self._waiters.append(lambda value: process._resume(value))
+
+
+class AllOf:
+    """Wait until every signal in the collection has triggered.
+
+    Resumes with the list of signal values in input order.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals: Iterable[Signal]) -> None:
+        self.signals = list(signals)
+
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        pending = [s for s in self.signals if not s.triggered]
+        remaining = len(pending)
+        if remaining == 0:
+            engine._schedule(0.0, lambda: process._resume([s.value for s in self.signals]))
+            return
+        state = {"remaining": remaining}
+
+        def on_one(_value: Any) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                process._resume([s.value for s in self.signals])
+
+        for signal in pending:
+            signal._waiters.append(on_one)
+
+
+class Store:
+    """Unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``Get`` blocks until an item arrives. Items
+    are delivered to getters in strict arrival order.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        self._items: list[Any] = []
+        self._getters: list["Process"] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            process = self._getters.pop(0)
+            self._engine._schedule(0.0, lambda: process._resume(item))
+        else:
+            self._items.append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Get:
+    """Yieldable: receive the next item from a :class:`Store`."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        store = self.store
+        if store._items:
+            item = store._items.pop(0)
+            engine._schedule(0.0, lambda: process._resume(item))
+        else:
+            store._getters.append(process)
+
+
+class Barrier:
+    """Cyclic barrier over ``parties`` processes.
+
+    Each generation completes when ``parties`` processes have called
+    :meth:`wait`; all of them resume (FIFO order) and the barrier
+    resets for the next generation. ``wait()`` resumes with the
+    generation index, letting callers count synchronisation rounds.
+    """
+
+    def __init__(self, engine: "Engine", parties: int) -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self._engine = engine
+        self.parties = parties
+        self.generation = 0
+        self._current = Signal()
+        self._count = 0
+
+    def wait(self) -> Signal:
+        """Return the signal to yield on for the current generation."""
+        signal = self._current
+        self._count += 1
+        if self._count == self.parties:
+            generation = self.generation
+            self.generation += 1
+            self._count = 0
+            self._current = Signal()
+            signal.trigger(generation, engine=self._engine)
+        return signal
+
+    @property
+    def waiting(self) -> int:
+        return self._count
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        self._engine = engine
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal()
+        self.alive = True
+        self.error: BaseException | None = None
+
+    # Processes themselves are waitable: `yield other_process`.
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        self.done._subscribe(engine, process)
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.trigger(stop.value, engine=self._engine)
+            return
+        except BaseException as exc:
+            self.alive = False
+            self.error = exc
+            self._engine._on_process_error(self, exc)
+            return
+        subscribe = getattr(target, "_subscribe", None)
+        if subscribe is None:
+            self.alive = False
+            error = TypeError(
+                f"process {self.name!r} yielded non-waitable {target!r}; "
+                "yield Timeout/Get/Signal/Barrier.wait()/Process"
+            )
+            self.error = error
+            self._engine._on_process_error(self, error)
+            return
+        subscribe(self._engine, self)
+
+
+class Engine:
+    """The simulation executive.
+
+    ``now`` is virtual time in seconds. ``run`` executes events until
+    the queue drains, ``until`` is reached, or ``stop()`` is called
+    (algorithms call ``stop()`` when the training target is met).
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue = EventQueue()
+        self._stopped = False
+        self._events_processed = 0
+        self._errors: list[tuple[Process, BaseException]] = []
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._queue.push(self.now + delay, callback)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process; it first runs at the current time."""
+        process = Process(self, gen, name)
+        self._schedule(0.0, lambda: process._resume(None))
+        return process
+
+    def store(self) -> Store:
+        return Store(self)
+
+    def barrier(self, parties: int) -> Barrier:
+        return Barrier(self, parties)
+
+    # -- error handling --------------------------------------------------
+    def _on_process_error(self, process: Process, exc: BaseException) -> None:
+        self._errors.append((process, exc))
+        self._stopped = True
+
+    # -- execution ------------------------------------------------------
+    def stop(self) -> None:
+        self._stopped = True
+
+    def run(self, *, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Run to completion. Returns the final virtual time.
+
+        Raises the first process error (chained) if any process died.
+        """
+        self._stopped = False
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.callback()
+            self._events_processed += 1
+            if self._events_processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}; likely a livelock")
+        if self._errors:
+            process, exc = self._errors[0]
+            raise RuntimeError(f"process {process.name!r} failed at t={self.now:.6f}") from exc
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,64 @@
+"""Event queue for the discrete-event kernel.
+
+Determinism is load-bearing for the whole reproduction: two runs with
+the same seeds must produce bit-identical schedules. The queue
+therefore breaks time ties with a monotonically increasing sequence
+number — never with object identity or insertion hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue skips it on pop."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest live event, discarding cancelled ones."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,150 @@
+"""Network model: rate-limited FIFO ports.
+
+Each machine's NIC is a pair of full-duplex ports (tx, rx); each
+machine also has one intra-machine bus port (PCIe-class) used for
+local aggregation between colocated GPUs. A transfer of ``B`` bytes
+from machine ``a`` to machine ``b``:
+
+1. serialises on ``a``'s tx port (duration ``B / rate``, FIFO behind
+   earlier sends from the same machine),
+2. propagates for the network latency,
+3. serialises on ``b``'s rx port from first-bit arrival (FIFO behind
+   earlier arrivals — *this queue is the PS bottleneck*),
+4. is delivered.
+
+End-to-end uncontended time is ``latency + B/rate`` (no
+double-counting of serialisation). Contention at senders, receivers,
+and the PS ingress/egress emerges from the FIFO queues rather than
+being assumed — which is precisely the phenomenon behind the paper's
+finding that ASP/SSP scale *worse than BSP* on 10 Gbps (§VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import Engine, Signal
+
+__all__ = ["Port", "Network"]
+
+
+class Port:
+    """A FIFO server transmitting at a fixed byte rate.
+
+    ``reserve`` is O(1): it computes the service interval analytically
+    from the port's running ``free_at`` watermark. Reservations must be
+    made in non-decreasing event-time order, which the engine's causal
+    event processing guarantees.
+    """
+
+    __slots__ = ("name", "rate", "free_at", "busy_time", "bytes_served", "transfers")
+
+    def __init__(self, name: str, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.name = name
+        self.rate = rate  # bytes per second
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.bytes_served = 0
+        self.transfers = 0
+
+    def service_time(self, nbytes: int) -> float:
+        return nbytes / self.rate
+
+    def reserve(self, now: float, nbytes: int) -> tuple[float, float]:
+        """Reserve the port for ``nbytes`` arriving at ``now``.
+
+        Returns ``(start, end)`` of the service interval.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = max(now, self.free_at)
+        duration = self.service_time(nbytes)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.bytes_served += nbytes
+        self.transfers += 1
+        return start, end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the port spent serving."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)
+
+
+class Network:
+    """All ports of a cluster plus the transfer state machine."""
+
+    def __init__(self, engine: Engine, spec: ClusterSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        rate = spec.network_bytes_per_s
+        intra_rate = spec.intra_bytes_per_s
+        self.tx = [Port(f"m{i}.tx", rate) for i in range(spec.machines)]
+        self.rx = [Port(f"m{i}.rx", rate) for i in range(spec.machines)]
+        self.intra = [Port(f"m{i}.bus", intra_rate) for i in range(spec.machines)]
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def transfer(
+        self,
+        src_machine: int,
+        dst_machine: int,
+        nbytes: int,
+        *,
+        tx_done: Signal | None = None,
+    ) -> Signal:
+        """Start a transfer now; returns a signal triggered at delivery.
+
+        Zero-byte transfers still pay latency (control messages).
+        ``tx_done``, if given, is triggered when the sender's port has
+        finished serialising the message — the point at which a
+        blocking MPI-style send returns.
+        """
+        if not 0 <= src_machine < self.spec.machines:
+            raise ValueError(f"src machine {src_machine} out of range")
+        if not 0 <= dst_machine < self.spec.machines:
+            raise ValueError(f"dst machine {dst_machine} out of range")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        engine = self.engine
+        done = Signal()
+        self.total_bytes += nbytes
+        self.total_messages += 1
+
+        if src_machine == dst_machine:
+            bus = self.intra[src_machine]
+            _, end = bus.reserve(engine.now, nbytes)
+            delivery = end + self.spec.machine.intra_latency_s
+            if tx_done is not None:
+                engine._schedule(end - engine.now, lambda: tx_done.trigger(engine=engine))
+            engine._schedule(delivery - engine.now, lambda: done.trigger(engine=engine))
+            return done
+
+        tx = self.tx[src_machine]
+        rx = self.rx[dst_machine]
+        start_tx, end_tx = tx.reserve(engine.now, nbytes)
+        if tx_done is not None:
+            engine._schedule(end_tx - engine.now, lambda: tx_done.trigger(engine=engine))
+        first_bit_arrival = start_tx + self.spec.network_latency_s
+
+        def on_arrival() -> None:
+            _, end_rx = rx.reserve(engine.now, nbytes)
+            engine._schedule(end_rx - engine.now, lambda: done.trigger(engine=engine))
+
+        engine._schedule(first_bit_arrival - engine.now, on_arrival)
+        return done
+
+    def port_stats(self) -> dict[str, dict[str, float]]:
+        """Utilisation snapshot of every port (for analysis/tests)."""
+        horizon = max(self.engine.now, 1e-12)
+        stats: dict[str, dict[str, float]] = {}
+        for port in [*self.tx, *self.rx, *self.intra]:
+            stats[port.name] = {
+                "utilization": port.utilization(horizon),
+                "bytes": float(port.bytes_served),
+                "transfers": float(port.transfers),
+            }
+        return stats

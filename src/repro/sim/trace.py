@@ -1,0 +1,102 @@
+"""Per-phase span tracing for the Fig 3 time-breakdown analysis.
+
+Workers bracket each stage of an iteration with
+:meth:`PhaseTracer.begin`/:meth:`PhaseTracer.end`. The canonical phase
+names follow the paper's Fig 3 legend:
+
+* ``compute``       — forward + backward pass on the GPU
+* ``local_agg``     — within-machine gradient reduction (BSP)
+* ``global_agg``    — PS-side / collective aggregation incl. waiting
+* ``comm``          — wire time of parameter/gradient transfer
+* ``agg_wait``      — the waiting component inside an aggregation
+                      stage (the paper reports waiting is up to 70–80 %
+                      of aggregation)
+
+Spans may overlap (wait-free BP deliberately overlaps ``comm`` with
+``compute``); breakdown aggregation is by total span duration, as the
+paper's stacked bars are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span", "PhaseTracer", "PHASES"]
+
+PHASES = ("compute", "local_agg", "global_agg", "comm", "agg_wait")
+
+
+@dataclass(frozen=True)
+class Span:
+    worker: int
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class PhaseTracer:
+    """Collects phase spans; one per run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._open: dict[tuple[int, str], float] = {}
+
+    def begin(self, worker: int, phase: str, now: float) -> None:
+        if not self.enabled:
+            return
+        key = (worker, phase)
+        if key in self._open:
+            raise RuntimeError(f"span {key} already open")
+        self._open[key] = now
+
+    def end(self, worker: int, phase: str, now: float) -> None:
+        if not self.enabled:
+            return
+        key = (worker, phase)
+        start = self._open.pop(key, None)
+        if start is None:
+            raise RuntimeError(f"span {key} was never opened")
+        if now < start:
+            raise RuntimeError(f"span {key} ends before it starts")
+        self.spans.append(Span(worker=worker, phase=phase, start=start, end=now))
+
+    def record(self, worker: int, phase: str, start: float, end: float) -> None:
+        """Record a complete span directly (used for wire-time spans
+        whose boundaries are known analytically)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise RuntimeError("span ends before it starts")
+        self.spans.append(Span(worker=worker, phase=phase, start=start, end=end))
+
+    def total(self, phase: str, *, worker: int | None = None) -> float:
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.phase == phase and (worker is None or s.worker == worker)
+        )
+
+    def breakdown(self, *, worker: int | None = None) -> dict[str, float]:
+        """Total duration per phase (seconds)."""
+        out = {phase: 0.0 for phase in PHASES}
+        for span in self.spans:
+            if worker is not None and span.worker != worker:
+                continue
+            out.setdefault(span.phase, 0.0)
+            out[span.phase] += span.duration
+        return out
+
+    def fractions(self, *, worker: int | None = None) -> dict[str, float]:
+        """Phase totals normalised to sum to 1 (excluding ``agg_wait``,
+        which is a sub-component of the aggregation phases)."""
+        totals = self.breakdown(worker=worker)
+        main = {k: v for k, v in totals.items() if k != "agg_wait"}
+        denom = sum(main.values())
+        if denom == 0:
+            return {k: 0.0 for k in main}
+        return {k: v / denom for k, v in main.items()}

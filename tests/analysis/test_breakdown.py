@@ -1,0 +1,36 @@
+"""Tests for breakdown normalisation and rendering."""
+
+import pytest
+
+from repro.analysis.breakdown import MAIN_PHASES, breakdown_table, normalize_breakdown
+
+
+class TestNormalize:
+    def test_normalises_to_one(self):
+        norm = normalize_breakdown({"compute": 3.0, "comm": 1.0})
+        assert sum(norm.values()) == pytest.approx(1.0)
+        assert norm["compute"] == pytest.approx(0.75)
+        assert norm["local_agg"] == 0.0
+
+    def test_drops_agg_wait(self):
+        norm = normalize_breakdown({"compute": 1.0, "agg_wait": 100.0})
+        assert "agg_wait" not in norm
+        assert norm["compute"] == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        norm = normalize_breakdown({})
+        assert all(v == 0.0 for v in norm.values())
+        assert set(norm) == set(MAIN_PHASES)
+
+
+class TestBreakdownTable:
+    def test_renders_rows(self):
+        text = breakdown_table(
+            {
+                "BSP 10G": {"compute": 2.0, "comm": 2.0},
+                "ASP 10G": {"compute": 1.0, "comm": 3.0},
+            }
+        )
+        assert "BSP 10G" in text and "ASP 10G" in text
+        assert "0.500" in text
+        assert "0.250" in text

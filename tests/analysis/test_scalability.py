@@ -1,0 +1,56 @@
+"""Tests for scalability analysis helpers."""
+
+import pytest
+
+from repro.analysis.scalability import (
+    crossover_points,
+    ideal_single_worker_throughput,
+    speedup_series,
+)
+from repro.core.history import ThroughputResult
+from repro.nn.zoo import resnet50_profile, vgg16_profile
+from repro.sim.cluster import TITAN_V
+
+
+class TestIdealThroughput:
+    def test_resnet_plausible(self):
+        tput = ideal_single_worker_throughput(resnet50_profile(), 128, TITAN_V)
+        # TITAN V, fp32, batch 128: low hundreds of images/second.
+        assert 100 < tput < 600
+
+    def test_vgg_slower_than_resnet(self):
+        resnet = ideal_single_worker_throughput(resnet50_profile(), 128, TITAN_V)
+        vgg = ideal_single_worker_throughput(vgg16_profile(), 96, TITAN_V)
+        assert vgg < resnet / 2
+
+
+class TestSpeedupSeries:
+    def test_sorted_pairs(self):
+        results = [
+            ThroughputResult(num_workers=8, measured_time=1.0, measured_images=800),
+            ThroughputResult(num_workers=2, measured_time=1.0, measured_images=190),
+        ]
+        series = speedup_series(results, baseline_throughput=100.0)
+        assert series == [(2, pytest.approx(1.9)), (8, pytest.approx(8.0))]
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series([], baseline_throughput=0.0)
+
+
+class TestCrossover:
+    def test_detects_flip(self):
+        a = [(1, 1.0), (8, 6.0), (24, 10.0)]
+        b = [(1, 1.0), (8, 7.0), (24, 9.0)]
+        # a < b at 8, a > b at 24 → flip detected at 24.
+        assert crossover_points(a, b) == [24]
+
+    def test_no_flip(self):
+        a = [(1, 1.0), (8, 8.0)]
+        b = [(1, 0.9), (8, 7.0)]
+        assert crossover_points(a, b) == []
+
+    def test_handles_disjoint_points(self):
+        a = [(1, 1.0), (4, 3.0)]
+        b = [(4, 4.0), (8, 7.0)]
+        assert crossover_points(a, b) == []

@@ -1,0 +1,84 @@
+"""Tests for the ring AllReduce plan (reduce-scatter + allgather)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import chunk_slices, ring_allreduce_plan, ring_neighbors
+
+
+class TestRingNeighbors:
+    def test_wraparound(self):
+        assert ring_neighbors(0, 4) == (3, 1)
+        assert ring_neighbors(3, 4) == (2, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ring_neighbors(4, 4)
+        with pytest.raises(ValueError):
+            ring_neighbors(0, 0)
+
+
+class TestChunkSlices:
+    def test_partitions_exactly(self):
+        slices = chunk_slices(10, 3)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_near_equal_sizes(self):
+        slices = chunk_slices(100, 7)
+        sizes = [s.stop - s.start for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_elements(self):
+        slices = chunk_slices(2, 4)
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == 2
+
+
+class TestRingPlan:
+    def test_step_count(self):
+        assert len(ring_allreduce_plan(0, 8)) == 14  # 2·(N−1)
+        assert ring_allreduce_plan(0, 1) == []
+
+    def test_reduce_then_gather_phases(self):
+        plan = ring_allreduce_plan(2, 5)
+        assert all(s.reduce for s in plan[:4])
+        assert all(not s.reduce for s in plan[4:])
+
+    def test_simulated_execution_computes_sum(self):
+        """Execute the plan with in-memory channels: every rank must end
+        holding the exact element-wise sum (the MPI AllReduce contract)."""
+        rng = np.random.default_rng(0)
+        for world in (2, 3, 5, 8):
+            total = 40
+            slices = chunk_slices(total, world)
+            data = [rng.normal(size=total) for _ in range(world)]
+            expected = np.sum(data, axis=0)
+            bufs = [d.copy() for d in data]
+            plans = [ring_allreduce_plan(r, world) for r in range(world)]
+            for step_idx in range(2 * (world - 1)):
+                # Simultaneous step: collect sends, then apply receives.
+                sends = []
+                for r in range(world):
+                    step = plans[r][step_idx]
+                    right = (r + 1) % world
+                    sends.append((right, step.send_chunk, bufs[r][slices[step.send_chunk]].copy()))
+                for dst, chunk, payload in sends:
+                    step = plans[dst][step_idx]
+                    assert step.recv_chunk == chunk, "send/recv chunk schedules must align"
+                    if step.reduce:
+                        bufs[dst][slices[chunk]] += payload
+                    else:
+                        bufs[dst][slices[chunk]] = payload
+            for r in range(world):
+                np.testing.assert_allclose(bufs[r], expected, rtol=1e-12)
+
+    def test_per_worker_traffic_is_bandwidth_optimal(self):
+        """Each rank sends 2·(N−1)/N of the vector — the ring optimum."""
+        world, total = 6, 60
+        slices = chunk_slices(total, world)
+        plan = ring_allreduce_plan(0, world)
+        sent = sum(slices[s.send_chunk].stop - slices[s.send_chunk].start for s in plan)
+        assert sent == total * 2 * (world - 1) // world

@@ -1,0 +1,99 @@
+"""Tests for the algorithm registry and classification flags."""
+
+import pytest
+
+from repro.core import ALGORITHMS, make_algorithm
+from repro.core.base import AlgorithmInfo
+
+
+class TestRegistry:
+    def test_all_seven_registered(self):
+        assert set(ALGORITHMS) == {
+            "bsp",
+            "asp",
+            "ssp",
+            "easgd",
+            "ar-sgd",
+            "gosgd",
+            "ad-psgd",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["bsp", "BSP", "ar-sgd", "ARSGD", "ar_sgd", "AD-PSGD", "adpsgd"]
+    )
+    def test_name_normalisation(self, name):
+        algo = make_algorithm(name)
+        assert algo.info.name.lower().replace("-", "") == name.lower().replace("-", "").replace("_", "")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_algorithm("hogwild")
+
+    def test_unknown_hyperparameter_rejected(self):
+        with pytest.raises(TypeError, match="unknown hyperparameters"):
+            make_algorithm("bsp", staleness=3)
+
+    def test_hyperparameters_accepted(self):
+        assert make_algorithm("ssp", staleness=7).staleness == 7
+        assert make_algorithm("easgd", tau=4).tau == 4
+        assert make_algorithm("gosgd", p=0.5).p == 0.5
+
+    def test_describe(self):
+        assert make_algorithm("bsp").describe() == "BSP"
+        assert make_algorithm("ssp", staleness=3).describe() == "SSP(staleness=3)"
+
+
+class TestClassification:
+    """Pin the Table I classification of each algorithm."""
+
+    def test_centralized_set(self):
+        centralized = {n for n, cls in ALGORITHMS.items() if cls.info.centralized}
+        assert centralized == {"bsp", "asp", "ssp", "easgd"}
+
+    def test_synchronous_set(self):
+        synchronous = {n for n, cls in ALGORITHMS.items() if cls.info.synchronous}
+        assert synchronous == {"bsp", "ar-sgd"}
+
+    def test_gradient_senders(self):
+        """Wait-free BP and DGC apply to exactly BSP/ASP/SSP/AR-SGD (§V)."""
+        senders = {n for n, cls in ALGORITHMS.items() if cls.info.sends_gradients}
+        assert senders == {"bsp", "asp", "ssp", "ar-sgd"}
+
+    def test_optimization_applicability_flags(self):
+        info = ALGORITHMS["easgd"].info
+        assert info.supports_sharding
+        assert not info.supports_waitfree_bp
+        assert not info.supports_dgc
+        info = ALGORITHMS["ar-sgd"].info
+        assert not info.supports_sharding
+        assert info.supports_waitfree_bp
+        assert info.supports_dgc
+
+
+class TestHyperparameterValidation:
+    def test_ssp_negative_staleness(self):
+        with pytest.raises(ValueError):
+            make_algorithm("ssp", staleness=-1)
+
+    def test_easgd_bad_tau(self):
+        with pytest.raises(ValueError):
+            make_algorithm("easgd", tau=0)
+
+    def test_easgd_bad_alpha(self):
+        with pytest.raises(ValueError):
+            make_algorithm("easgd", alpha=2.0)
+
+    def test_easgd_default_alpha_rule(self):
+        algo = make_algorithm("easgd")
+        assert algo.alpha_for(9) == pytest.approx(0.1)
+
+    def test_gosgd_bad_p(self):
+        with pytest.raises(ValueError):
+            make_algorithm("gosgd", p=1.5)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.base import register_algorithm
+        from repro.core.bsp import BSP
+
+        with pytest.raises(ValueError):
+            register_algorithm(BSP)

@@ -1,0 +1,123 @@
+"""Tests for the Table I catalogue (convergence + communication)."""
+
+import pytest
+
+from repro.core.complexity import (
+    COMPLEXITY_TABLE,
+    communication_complexity,
+    convergence_rate,
+    table1_rows,
+)
+
+
+class TestTableStructure:
+    def test_all_seven_algorithms_present(self):
+        assert set(COMPLEXITY_TABLE) == {
+            "bsp",
+            "asp",
+            "ssp",
+            "easgd",
+            "ar-sgd",
+            "gosgd",
+            "ad-psgd",
+        }
+
+    def test_categories_match_paper(self):
+        assert COMPLEXITY_TABLE["bsp"].category == "centralized-sync"
+        assert COMPLEXITY_TABLE["asp"].category == "centralized-async"
+        assert COMPLEXITY_TABLE["ssp"].category == "centralized-async"
+        assert COMPLEXITY_TABLE["easgd"].category == "centralized-async"
+        assert COMPLEXITY_TABLE["ar-sgd"].category == "decentralized-sync"
+        assert COMPLEXITY_TABLE["gosgd"].category == "decentralized-async"
+        assert COMPLEXITY_TABLE["ad-psgd"].category == "decentralized-async"
+
+    def test_table1_rows_render(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert all({"name", "category", "convergence_rate", "comm_complexity"} <= set(r) for r in rows)
+
+
+class TestConvergenceRates:
+    def test_bsp_asp_arsgd_share_rate(self):
+        for algo in ("bsp", "asp", "ar-sgd"):
+            assert convergence_rate(algo, n=4, k=100) == pytest.approx(1 / (4 * 100) ** 0.5)
+
+    def test_ssp_rate_grows_with_staleness(self):
+        r3 = convergence_rate("ssp", n=4, k=1000, s=3)
+        r10 = convergence_rate("ssp", n=4, k=1000, s=10)
+        assert r10 > r3
+
+    def test_adpsgd_independent_of_n(self):
+        assert convergence_rate("ad-psgd", n=4, k=100) == convergence_rate(
+            "ad-psgd", n=24, k=100
+        )
+
+    def test_unproven_rates_are_none(self):
+        assert convergence_rate("easgd", n=4, k=100) is None
+        assert convergence_rate("gosgd", n=4, k=100) is None
+
+    def test_rates_shrink_with_iterations(self):
+        assert convergence_rate("bsp", n=4, k=10_000) < convergence_rate("bsp", n=4, k=100)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            convergence_rate("bsp", n=0, k=10)
+
+
+class TestCommunicationComplexity:
+    M = 25_000_000
+
+    def test_bsp_local_aggregation_divides(self):
+        full = communication_complexity("bsp", m=self.M, n=24, l=1)
+        local = communication_complexity("bsp", m=self.M, n=24, l=4)
+        assert full == pytest.approx(2 * self.M * 24)
+        assert local == pytest.approx(full / 4)
+
+    def test_asp_and_arsgd(self):
+        assert communication_complexity("asp", m=self.M, n=8) == pytest.approx(2 * self.M * 8)
+        assert communication_complexity("ar-sgd", m=self.M, n=8) == pytest.approx(
+            2 * self.M * 8
+        )
+
+    def test_ssp_between_bsp_and_half(self):
+        ssp = communication_complexity("ssp", m=self.M, n=8, s=10)
+        assert self.M * 8 < ssp < 2 * self.M * 8
+        # s→0 degenerates to BSP's 2MN.
+        assert communication_complexity("ssp", m=self.M, n=8, s=0) == pytest.approx(
+            2 * self.M * 8
+        )
+
+    def test_easgd_divided_by_tau(self):
+        assert communication_complexity("easgd", m=self.M, n=8, tau=8) == pytest.approx(
+            2 * self.M
+        )
+
+    def test_gosgd_scales_with_p(self):
+        assert communication_complexity("gosgd", m=self.M, n=8, p=0.01) == pytest.approx(
+            self.M * 8 * 0.01
+        )
+
+    def test_adpsgd_half_of_asp(self):
+        asp = communication_complexity("asp", m=self.M, n=8)
+        adpsgd = communication_complexity("ad-psgd", m=self.M, n=8)
+        assert adpsgd == pytest.approx(asp / 2)
+
+    def test_paper_ordering_at_recommended_hyperparams(self):
+        """With the authors' settings (s=10, τ=8, p=0.01), the volume
+        ordering is GoSGD < EASGD < AD-PSGD < SSP < ASP = AR-SGD."""
+        kw = dict(m=self.M, n=24)
+        vols = {
+            "gosgd": communication_complexity("gosgd", p=0.01, **kw),
+            "easgd": communication_complexity("easgd", tau=8, **kw),
+            "ad-psgd": communication_complexity("ad-psgd", **kw),
+            "ssp": communication_complexity("ssp", s=10, **kw),
+            "asp": communication_complexity("asp", **kw),
+        }
+        ordered = sorted(vols, key=vols.get)
+        assert ordered == ["gosgd", "easgd", "ad-psgd", "ssp", "asp"]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            communication_complexity("gosgd", m=self.M, n=4, p=1.5)
+        with pytest.raises(ValueError):
+            communication_complexity("bsp", m=self.M, n=4, l=0)

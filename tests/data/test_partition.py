@@ -1,0 +1,56 @@
+"""Tests for data-parallel partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_gaussian_blobs, partition_dataset
+
+
+class TestPartition:
+    def test_disjoint_and_complete(self):
+        d = make_gaussian_blobs(num_samples=100, seed=0)
+        shards = partition_dataset(d, 4, rng=np.random.default_rng(0))
+        assert sum(len(s) for s in shards) == 100
+        seen = np.concatenate([s.x[:, 0] for s in shards])
+        assert len(np.unique(seen)) == len(np.unique(d.x[:, 0]))
+
+    def test_drop_remainder_equal_sizes(self):
+        d = make_gaussian_blobs(num_samples=103, seed=0)
+        shards = partition_dataset(d, 4, rng=np.random.default_rng(0), drop_remainder=True)
+        sizes = {len(s) for s in shards}
+        assert sizes == {25}
+
+    def test_stratified_balances_classes(self):
+        d = make_gaussian_blobs(num_samples=800, num_classes=4, seed=0)
+        shards = partition_dataset(d, 8, rng=np.random.default_rng(0), stratified=True)
+        for shard in shards:
+            counts = np.bincount(shard.y, minlength=4)
+            # Each class within ±40 % of the ideal per-shard count.
+            ideal = len(shard) / 4
+            assert np.all(counts > 0.6 * ideal)
+            assert np.all(counts < 1.4 * ideal)
+
+    def test_unstratified_partition_is_permutation(self):
+        d = make_gaussian_blobs(num_samples=60, seed=0)
+        shards = partition_dataset(d, 3, rng=np.random.default_rng(1), stratified=False)
+        assert sum(len(s) for s in shards) == 60
+
+    def test_single_worker_gets_everything(self):
+        d = make_gaussian_blobs(num_samples=50, seed=0)
+        shards = partition_dataset(d, 1, rng=np.random.default_rng(0))
+        assert len(shards) == 1
+        assert len(shards[0]) == 50
+
+    def test_errors(self):
+        d = make_gaussian_blobs(num_samples=10, seed=0)
+        with pytest.raises(ValueError):
+            partition_dataset(d, 0)
+        with pytest.raises(ValueError):
+            partition_dataset(d, 11)
+
+    def test_deterministic_given_rng(self):
+        d = make_gaussian_blobs(num_samples=100, seed=0)
+        a = partition_dataset(d, 4, rng=np.random.default_rng(7))
+        b = partition_dataset(d, 4, rng=np.random.default_rng(7))
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.x, sb.x)

@@ -1,0 +1,98 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, make_gaussian_blobs, make_spirals, make_synthetic_images
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 2)), y=np.zeros(4, dtype=int), num_classes=2)
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 2)), y=np.array([0, 1, 5]), num_classes=2)
+
+    def test_subset(self):
+        d = make_gaussian_blobs(num_samples=50, seed=0)
+        sub = d.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.x[1], d.x[2])
+
+    def test_split_disjoint_and_complete(self):
+        d = make_gaussian_blobs(num_samples=100, seed=0)
+        train, test = d.split(0.25, rng=np.random.default_rng(1))
+        assert len(train) + len(test) == 100
+        assert len(test) == 25
+
+    def test_split_bad_fraction(self):
+        d = make_gaussian_blobs(num_samples=10, seed=0)
+        with pytest.raises(ValueError):
+            d.split(0.0, rng=np.random.default_rng(0))
+
+
+class TestGaussianBlobs:
+    def test_shapes_and_ranges(self):
+        d = make_gaussian_blobs(num_samples=200, num_classes=7, num_features=16, seed=0)
+        assert d.x.shape == (200, 16)
+        assert d.y.shape == (200,)
+        assert set(np.unique(d.y)) <= set(range(7))
+
+    def test_deterministic(self):
+        a = make_gaussian_blobs(seed=42)
+        b = make_gaussian_blobs(seed=42)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_low_noise_is_separable(self):
+        """Nearest-prototype classification should be near-perfect when
+        noise ≪ prototype spacing."""
+        d = make_gaussian_blobs(num_samples=500, num_classes=4, noise=0.05, seed=0)
+        # Recover prototypes as class means.
+        protos = np.stack([d.x[d.y == c].mean(axis=0) for c in range(4)])
+        pred = np.argmin(
+            ((d.x[:, None, :] - protos[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (pred == d.y).mean() > 0.99
+
+
+class TestSpirals:
+    def test_shapes(self):
+        d = make_spirals(num_samples=500, num_classes=5, seed=0)
+        assert d.x.shape[1] == 2
+        assert d.num_classes == 5
+
+    def test_embedding_in_higher_dim(self):
+        d = make_spirals(num_samples=100, num_features=10, seed=0)
+        assert d.x.shape[1] == 10
+        # Data lives on a 2-D subspace: third singular value ≈ noise.
+        s = np.linalg.svd(d.x - d.x.mean(axis=0), compute_uv=False)
+        assert s[2] < 0.05 * s[0]
+
+    def test_classes_balanced(self):
+        d = make_spirals(num_samples=500, num_classes=5, seed=0)
+        counts = np.bincount(d.y, minlength=5)
+        assert counts.min() == counts.max() == 100
+
+    def test_rejects_one_feature(self):
+        with pytest.raises(ValueError):
+            make_spirals(num_features=1)
+
+
+class TestSyntheticImages:
+    def test_nchw_shape(self):
+        d = make_synthetic_images(num_samples=40, channels=3, hw=8, seed=0)
+        assert d.x.shape == (40, 3, 8, 8)
+
+    def test_class_structure_exists(self):
+        """Same-class images must correlate more than cross-class ones."""
+        d = make_synthetic_images(num_samples=300, num_classes=4, noise=0.2, seed=0)
+        flat = d.x.reshape(len(d), -1)
+        protos = np.stack([flat[d.y == c].mean(axis=0) for c in range(4)])
+        pred = np.argmin(((flat[:, None] - protos[None]) ** 2).sum(axis=2), axis=1)
+        assert (pred == d.y).mean() > 0.9
+
+    def test_deterministic(self):
+        a = make_synthetic_images(seed=5, num_samples=20)
+        b = make_synthetic_images(seed=5, num_samples=20)
+        assert np.array_equal(a.x, b.x)

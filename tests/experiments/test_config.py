@@ -1,0 +1,94 @@
+"""Tests for the canonical experiment configurations."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_HYPERPARAMS,
+    full_mode_cluster,
+    mini_accuracy_config,
+    mini_dgc_config,
+    timing_config,
+)
+
+
+class TestPaperHyperparams:
+    def test_authors_recommended_values(self):
+        """§VI-A: SSP s=10, EASGD τ=8, GoSGD p=0.01."""
+        assert PAPER_HYPERPARAMS["ssp"] == {"staleness": 10}
+        assert PAPER_HYPERPARAMS["easgd"] == {"tau": 8}
+        assert PAPER_HYPERPARAMS["gosgd"] == {"p": 0.01}
+
+
+class TestFullModeCluster:
+    def test_fabric_ratio_difference(self):
+        fast = full_mode_cluster(8, fabric="56g")
+        slow = full_mode_cluster(8, fabric="10g")
+        assert fast.network_bandwidth_gbps > 3 * slow.network_bandwidth_gbps
+
+    def test_machine_layout_follows_paper(self):
+        spec = full_mode_cluster(24)
+        assert spec.machines == 6
+        assert spec.machine.gpus == 4
+
+    def test_small_worker_counts_fit(self):
+        spec = full_mode_cluster(2)
+        assert spec.total_gpus >= 2
+
+    def test_unknown_fabric(self):
+        with pytest.raises(ValueError):
+            full_mode_cluster(8, fabric="100g")
+
+
+class TestMiniAccuracyConfig:
+    def test_defaults_use_authors_hyperparams(self):
+        cfg = mini_accuracy_config("ssp", num_workers=8)
+        assert cfg.algorithm_params == {"staleness": 10}
+
+    def test_explicit_params_override(self):
+        cfg = mini_accuracy_config("ssp", num_workers=8, algorithm_params={"staleness": 3})
+        assert cfg.algorithm_params == {"staleness": 3}
+
+    def test_centralized_gets_shards(self):
+        assert mini_accuracy_config("bsp", num_workers=8).num_ps_shards > 1
+        assert mini_accuracy_config("gosgd", num_workers=8).num_ps_shards == 1
+
+    def test_overrides_pass_through(self):
+        cfg = mini_accuracy_config("bsp", num_workers=8, epochs=5.0, seed=42)
+        assert cfg.epochs == 5.0
+        assert cfg.seed == 42
+
+    def test_scaling_rule_preserved(self):
+        """η = base · N with warm-up/decay shape intact."""
+        cfg = mini_accuracy_config("bsp", num_workers=24)
+        assert cfg.base_lr > 0
+        assert 0 < cfg.warmup_fraction < 1
+
+
+class TestMiniDGCConfig:
+    def test_above_degeneracy_floor(self):
+        cfg = mini_dgc_config(24)
+        # ~4.9k-parameter model: the keep-set must be >100 coordinates.
+        assert cfg.final_ratio * 4869 > 100
+        assert cfg.num_workers == 24
+
+
+class TestTimingConfig:
+    def test_paper_cluster_packing(self):
+        cfg = timing_config("bsp", num_workers=24)
+        assert cfg.cluster.machines == 6
+        assert cfg.cluster.machine.gpus == 4
+        cfg1 = timing_config("bsp", num_workers=2)
+        assert cfg1.cluster.machines == 1
+
+    def test_ps_ratio_default(self):
+        """Paper §VI-D: profiled optimum ≈ 1 PS per 4 workers."""
+        assert timing_config("asp", num_workers=24).num_ps_shards == 6
+        assert timing_config("asp", num_workers=8).num_ps_shards == 2
+        assert timing_config("ad-psgd", num_workers=24).num_ps_shards == 1
+
+    def test_batch_sizes_match_paper(self):
+        assert timing_config("bsp", num_workers=8, model="resnet50").batch_size == 128
+        assert timing_config("bsp", num_workers=8, model="vgg16").batch_size == 96
+
+    def test_trace_enabled(self):
+        assert timing_config("bsp", num_workers=8).trace

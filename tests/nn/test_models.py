@@ -1,0 +1,134 @@
+"""Tests for the runnable model zoo (MLP / MiniResNet / MiniVGG)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, MiniResNet, MiniVGG, ResidualBlock, build_model
+from repro.nn.losses import SoftmaxCrossEntropy
+
+from tests.nn.util import check_model_gradients
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(8, (16, 16), 5, rng=np.random.default_rng(0))
+        out = model.forward(np.zeros((3, 8)))
+        assert out.shape == (3, 5)
+
+    def test_trains_on_blobs(self):
+        """A few hundred SGD steps must beat chance on separable data —
+        the end-to-end sanity check of the whole nn stack."""
+        from repro.data import make_gaussian_blobs
+        from repro.nn.optim import SGD
+
+        data = make_gaussian_blobs(num_samples=400, num_classes=4, num_features=8, seed=1)
+        model = MLP(8, (32,), 4, rng=np.random.default_rng(0))
+        opt = SGD(model, momentum=0.9, weight_decay=0.0)
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            idx = rng.integers(0, len(data), size=32)
+            model.zero_grad()
+            out = model.forward(data.x[idx])
+            loss.forward(out, data.y[idx])
+            model.backward(loss.backward())
+            opt.step(0.05)
+        acc = (model.forward(data.x).argmax(axis=1) == data.y).mean()
+        assert acc > 0.9
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shape(self):
+        block = ResidualBlock(4, 4, rng=np.random.default_rng(0))
+        out = block.forward(np.random.default_rng(1).normal(size=(2, 4, 6, 6)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_projection_shortcut_on_stride(self):
+        block = ResidualBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        out = block.forward(np.random.default_rng(1).normal(size=(2, 4, 6, 6)))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_gradients_flow_through_both_branches(self):
+        rng = np.random.default_rng(0)
+        block = ResidualBlock(2, 2, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        out = block.forward(x)
+        grad_in = block.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert np.any(block.conv1.weight.grad != 0)
+        assert np.any(grad_in != 0)
+
+    def test_numerical_gradients(self):
+        rng = np.random.default_rng(0)
+        from repro.nn.module import Sequential
+        from repro.nn.layers import Flatten, Dense
+
+        model = Sequential(
+            ResidualBlock(2, 2, rng=rng), Flatten(), Dense(2 * 3 * 3, 2, rng=rng)
+        )
+        x = rng.normal(size=(4, 2, 3, 3))
+        y = rng.integers(0, 2, size=4)
+        check_model_gradients(
+            model, SoftmaxCrossEntropy(), x, y, max_params=40, rtol=1e-3, atol=1e-5
+        )
+
+
+class TestMiniResNet:
+    def test_forward_backward(self):
+        rng = np.random.default_rng(0)
+        model = MiniResNet(stage_channels=(4, 8), rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model.forward(x)
+        assert out.shape == (2, 10)
+        model.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+
+    def test_structure_has_residual_blocks(self):
+        model = MiniResNet(stage_channels=(4, 8), blocks_per_stage=2)
+        blocks = [m for m in model.modules() if isinstance(m, ResidualBlock)]
+        assert len(blocks) == 4
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ValueError):
+            MiniResNet(stage_channels=())
+
+
+class TestMiniVGG:
+    def test_forward_backward(self):
+        rng = np.random.default_rng(0)
+        model = MiniVGG(rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        out = model.forward(x)
+        assert out.shape == (2, 10)
+        model.backward(np.ones_like(out))
+
+    def test_fc_dominates_parameters(self):
+        """The structural signature of the VGG family: the first FC
+        layer holds the majority of the parameters (≈75 % in VGG-16)."""
+        model = MiniVGG(conv_channels=(8, 16), fc_width=256, input_hw=8)
+        fc1_params = model.fc1.num_parameters()
+        assert fc1_params / model.num_parameters() > 0.5
+
+    def test_rejects_too_deep_for_input(self):
+        with pytest.raises(ValueError):
+            MiniVGG(conv_channels=(4, 4, 4, 4), input_hw=8)
+
+
+class TestBuildModel:
+    def test_same_seed_same_params(self):
+        a = build_model("mlp", seed=5)
+        b = build_model("mlp", seed=5)
+        assert np.array_equal(a.get_flat_parameters(), b.get_flat_parameters())
+
+    def test_different_seed_differs(self):
+        a = build_model("mlp", seed=1)
+        b = build_model("mlp", seed=2)
+        assert not np.array_equal(a.get_flat_parameters(), b.get_flat_parameters())
+
+    @pytest.mark.parametrize("name,cls", [("mlp", MLP), ("miniresnet", MiniResNet), ("minivgg", MiniVGG)])
+    def test_factory_types(self, name, cls):
+        assert isinstance(build_model(name), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            build_model("transformer")

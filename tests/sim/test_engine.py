@@ -1,0 +1,302 @@
+"""Tests for the process-based discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import AllOf, Engine, Get, Signal, Timeout
+
+
+class TestTimeout:
+    def test_advances_virtual_time(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            yield Timeout(1.5)
+            times.append(eng.now)
+            yield Timeout(0.5)
+            times.append(eng.now)
+
+        eng.spawn(proc())
+        eng.run()
+        assert times == [1.5, 2.0]
+
+    def test_zero_delay_allowed(self):
+        eng = Engine()
+        done = []
+
+        def proc():
+            yield Timeout(0.0)
+            done.append(True)
+
+        eng.spawn(proc())
+        eng.run()
+        assert done == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+
+class TestProcessLifecycle:
+    def test_return_value_via_done_signal(self):
+        eng = Engine()
+        results = []
+
+        def child():
+            yield Timeout(1.0)
+            return 42
+
+        def parent():
+            proc = eng.spawn(child())
+            value = yield proc
+            results.append(value)
+
+        eng.spawn(parent())
+        eng.run()
+        assert results == [42]
+
+    def test_process_error_propagates(self):
+        eng = Engine()
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        eng.spawn(bad(), name="bad")
+        with pytest.raises(RuntimeError, match="bad"):
+            eng.run()
+
+    def test_yielding_non_waitable_fails(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.spawn(bad())
+        with pytest.raises(RuntimeError):
+            eng.run()
+
+    def test_max_events_guards_livelock(self):
+        eng = Engine()
+
+        def spinner():
+            while True:
+                yield Timeout(0.0)
+
+        eng.spawn(spinner())
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=100)
+
+
+class TestSignal:
+    def test_broadcast_wakes_all(self):
+        eng = Engine()
+        sig = Signal()
+        woken = []
+
+        def waiter(i):
+            value = yield sig
+            woken.append((i, value, eng.now))
+
+        def trigger():
+            yield Timeout(2.0)
+            sig.trigger("hello", engine=eng)
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+        eng.spawn(trigger())
+        eng.run()
+        assert woken == [(0, "hello", 2.0), (1, "hello", 2.0), (2, "hello", 2.0)]
+
+    def test_wait_on_triggered_signal_resumes_immediately(self):
+        eng = Engine()
+        sig = Signal()
+        sig.trigger("early")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append(value)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert got == ["early"]
+
+    def test_double_trigger_raises(self):
+        sig = Signal()
+        sig.trigger()
+        with pytest.raises(RuntimeError):
+            sig.trigger()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        eng = Engine()
+        sigs = [Signal() for _ in range(3)]
+        result = []
+
+        def waiter():
+            values = yield AllOf(sigs)
+            result.append((values, eng.now))
+
+        def trigger(i, t):
+            yield Timeout(t)
+            sigs[i].trigger(i, engine=eng)
+
+        eng.spawn(waiter())
+        for i, t in enumerate([3.0, 1.0, 2.0]):
+            eng.spawn(trigger(i, t))
+        eng.run()
+        values, t = result[0]
+        assert values == [0, 1, 2]  # input order, not trigger order
+        assert t == 3.0
+
+    def test_empty_or_pretriggered(self):
+        eng = Engine()
+        sig = Signal()
+        sig.trigger("x")
+        out = []
+
+        def waiter():
+            values = yield AllOf([sig])
+            out.append(values)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert out == [["x"]]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = eng.store()
+        got = []
+
+        def producer():
+            yield Timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        def consumer():
+            item = yield Get(store)
+            got.append((item, eng.now))
+            item = yield Get(store)
+            got.append((item, eng.now))
+
+        eng.spawn(consumer())
+        eng.spawn(producer())
+        eng.run()
+        assert got == [("a", 1.0), ("b", 1.0)]
+
+    def test_fifo_across_getters(self):
+        eng = Engine()
+        store = eng.store()
+        got = []
+
+        def consumer(i):
+            item = yield Get(store)
+            got.append((i, item))
+
+        for i in range(3):
+            eng.spawn(consumer(i))
+
+        def producer():
+            yield Timeout(1.0)
+            for x in "xyz":
+                store.put(x)
+
+        eng.spawn(producer())
+        eng.run()
+        assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+    def test_len_counts_buffered(self):
+        eng = Engine()
+        store = eng.store()
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestBarrier:
+    def test_releases_all_at_nth(self):
+        eng = Engine()
+        barrier = eng.barrier(3)
+        released = []
+
+        def proc(i, t):
+            yield Timeout(t)
+            gen = yield barrier.wait()
+            released.append((i, gen, eng.now))
+
+        for i, t in enumerate([1.0, 5.0, 3.0]):
+            eng.spawn(proc(i, t))
+        eng.run()
+        assert all(t == 5.0 for _, _, t in released)
+        assert all(gen == 0 for _, gen, _ in released)
+
+    def test_cyclic_reuse(self):
+        eng = Engine()
+        barrier = eng.barrier(2)
+        gens = []
+
+        def proc():
+            for _ in range(3):
+                yield Timeout(1.0)
+                gen = yield barrier.wait()
+                gens.append(gen)
+
+        eng.spawn(proc())
+        eng.spawn(proc())
+        eng.run()
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            Engine().barrier(0)
+
+
+class TestRunControl:
+    def test_until_stops_clock(self):
+        eng = Engine()
+
+        def proc():
+            while True:
+                yield Timeout(1.0)
+
+        eng.spawn(proc())
+        final = eng.run(until=10.5)
+        assert final == 10.5
+
+    def test_stop_halts_immediately(self):
+        eng = Engine()
+        count = [0]
+
+        def proc():
+            while True:
+                yield Timeout(1.0)
+                count[0] += 1
+                if count[0] == 5:
+                    eng.stop()
+
+        eng.spawn(proc())
+        eng.run()
+        assert count[0] == 5
+
+    def test_determinism(self):
+        """Two identical engines produce identical event interleavings."""
+
+        def make_trace():
+            eng = Engine()
+            trace = []
+
+            def proc(i):
+                for step in range(5):
+                    yield Timeout(0.5 * (i + 1))
+                    trace.append((i, step, eng.now))
+
+            for i in range(4):
+                eng.spawn(proc(i))
+            eng.run()
+            return trace
+
+        assert make_trace() == make_trace()

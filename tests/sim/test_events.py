@@ -1,0 +1,59 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append(3))
+        q.push(1.0, lambda: order.append(1))
+        q.push(2.0, lambda: order.append(2))
+        while q:
+            q.pop().callback()
+        assert order == [1, 2, 3]
+
+    def test_fifo_tie_breaking(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(1.0, lambda i=i: order.append(i))
+        while q:
+            q.pop().callback()
+        assert order == list(range(10))
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancel()
+        assert q.pop().time == 2.0
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        e.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert len(q) == 1
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert not q
+        assert q.pop() is None
+        assert q.peek_time() is None
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda: None)

@@ -1,0 +1,132 @@
+"""Tests for the network model (ports, transfers, contention)."""
+
+import pytest
+
+from repro.sim.cluster import paper_cluster
+from repro.sim.engine import Engine, Timeout
+from repro.sim.network import Network, Port
+
+
+class TestPort:
+    def test_service_time(self):
+        port = Port("p", rate=1000.0)
+        assert port.service_time(500) == pytest.approx(0.5)
+
+    def test_fifo_reservations(self):
+        port = Port("p", rate=100.0)
+        s1, e1 = port.reserve(0.0, 100)
+        s2, e2 = port.reserve(0.0, 100)
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 2.0)
+
+    def test_idle_gap_not_charged(self):
+        port = Port("p", rate=100.0)
+        port.reserve(0.0, 100)
+        s, e = port.reserve(5.0, 100)
+        assert (s, e) == (5.0, 6.0)
+        assert port.busy_time == pytest.approx(2.0)
+
+    def test_utilization(self):
+        port = Port("p", rate=100.0)
+        port.reserve(0.0, 100)
+        assert port.utilization(4.0) == pytest.approx(0.25)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            Port("p", rate=0)
+        with pytest.raises(ValueError):
+            Port("p", rate=10).reserve(0.0, -1)
+
+
+class TestNetworkTransfer:
+    def make(self, bw=10):
+        eng = Engine()
+        spec = paper_cluster(bandwidth_gbps=bw, machines=3, gpus_per_machine=4)
+        return eng, spec, Network(eng, spec)
+
+    def run_transfer(self, eng, net, src, dst, nbytes, start=0.0):
+        done_at = []
+
+        def proc():
+            if start:
+                yield Timeout(start)
+            sig = net.transfer(src, dst, nbytes)
+            yield sig
+            done_at.append(eng.now)
+
+        eng.spawn(proc())
+        eng.run()
+        return done_at[0]
+
+    def test_uncontended_time_is_latency_plus_serialization(self):
+        eng, spec, net = self.make()
+        nbytes = 10_000_000
+        expected = spec.network_latency_s + nbytes / spec.network_bytes_per_s
+        assert self.run_transfer(eng, net, 0, 1, nbytes) == pytest.approx(expected)
+
+    def test_intra_machine_uses_bus(self):
+        eng, spec, net = self.make()
+        nbytes = 10_000_000
+        t = self.run_transfer(eng, net, 1, 1, nbytes)
+        expected = spec.machine.intra_latency_s + nbytes / spec.intra_bytes_per_s
+        assert t == pytest.approx(expected)
+        assert t < spec.network_latency_s + nbytes / spec.network_bytes_per_s
+
+    def test_sender_contention_serializes(self):
+        """Two simultaneous sends from one machine share its tx port."""
+        eng, spec, net = self.make()
+        ends = []
+
+        def proc(dst):
+            sig = net.transfer(0, dst, 1_000_000)
+            yield sig
+            ends.append(eng.now)
+
+        eng.spawn(proc(1))
+        eng.spawn(proc(2))
+        eng.run()
+        serialization = 1_000_000 / spec.network_bytes_per_s
+        assert min(ends) == pytest.approx(spec.network_latency_s + serialization)
+        assert max(ends) == pytest.approx(spec.network_latency_s + 2 * serialization)
+
+    def test_receiver_contention_serializes(self):
+        """Incast: many senders to one machine queue at its rx port —
+        this is the PS-bottleneck mechanism."""
+        eng, spec, net = self.make()
+        ends = []
+
+        def proc(src):
+            sig = net.transfer(src, 2, 1_000_000)
+            yield sig
+            ends.append(eng.now)
+
+        eng.spawn(proc(0))
+        eng.spawn(proc(1))
+        eng.run()
+        ser = 1_000_000 / spec.network_bytes_per_s
+        assert max(ends) == pytest.approx(spec.network_latency_s + 2 * ser)
+
+    def test_zero_byte_message_pays_latency(self):
+        eng, spec, net = self.make()
+        assert self.run_transfer(eng, net, 0, 1, 0) == pytest.approx(
+            spec.network_latency_s
+        )
+
+    def test_higher_bandwidth_is_faster(self):
+        t10 = self.run_transfer(*(lambda e, s, n: (e, n))(*self.make(10)), 0, 1, 50_000_000)
+        t56 = self.run_transfer(*(lambda e, s, n: (e, n))(*self.make(56)), 0, 1, 50_000_000)
+        assert t56 < t10 / 3
+
+    def test_stats_accumulate(self):
+        eng, spec, net = self.make()
+        self.run_transfer(eng, net, 0, 1, 1234)
+        assert net.total_bytes == 1234
+        assert net.total_messages == 1
+        stats = net.port_stats()
+        assert stats["m0.tx"]["bytes"] == 1234
+        assert stats["m1.rx"]["bytes"] == 1234
+
+    def test_invalid_machine_raises(self):
+        eng, spec, net = self.make()
+        with pytest.raises(ValueError):
+            net.transfer(0, 99, 10)

@@ -1,0 +1,67 @@
+"""Tests for phase tracing."""
+
+import pytest
+
+from repro.sim.trace import PhaseTracer, Span
+
+
+class TestPhaseTracer:
+    def test_begin_end_records_span(self):
+        t = PhaseTracer()
+        t.begin(0, "compute", 1.0)
+        t.end(0, "compute", 3.0)
+        assert t.spans == [Span(0, "compute", 1.0, 3.0)]
+        assert t.total("compute") == pytest.approx(2.0)
+
+    def test_record_direct(self):
+        t = PhaseTracer()
+        t.record(1, "comm", 0.0, 0.5)
+        assert t.total("comm", worker=1) == pytest.approx(0.5)
+        assert t.total("comm", worker=0) == 0.0
+
+    def test_double_begin_raises(self):
+        t = PhaseTracer()
+        t.begin(0, "compute", 0.0)
+        with pytest.raises(RuntimeError):
+            t.begin(0, "compute", 1.0)
+
+    def test_end_without_begin_raises(self):
+        t = PhaseTracer()
+        with pytest.raises(RuntimeError):
+            t.end(0, "compute", 1.0)
+
+    def test_backwards_span_raises(self):
+        t = PhaseTracer()
+        t.begin(0, "compute", 5.0)
+        with pytest.raises(RuntimeError):
+            t.end(0, "compute", 1.0)
+        with pytest.raises(RuntimeError):
+            t.record(0, "comm", 2.0, 1.0)
+
+    def test_concurrent_spans_different_workers(self):
+        t = PhaseTracer()
+        t.begin(0, "compute", 0.0)
+        t.begin(1, "compute", 0.0)
+        t.end(1, "compute", 1.0)
+        t.end(0, "compute", 2.0)
+        assert t.total("compute") == pytest.approx(3.0)
+
+    def test_breakdown_and_fractions(self):
+        t = PhaseTracer()
+        t.record(0, "compute", 0.0, 6.0)
+        t.record(0, "global_agg", 6.0, 8.0)
+        t.record(0, "comm", 8.0, 10.0)
+        t.record(-1, "agg_wait", 6.0, 7.5)
+        frac = t.fractions()
+        assert frac["compute"] == pytest.approx(0.6)
+        assert frac["global_agg"] == pytest.approx(0.2)
+        assert "agg_wait" not in frac  # sub-component, not a main phase
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_disabled_tracer_is_noop(self):
+        t = PhaseTracer(enabled=False)
+        t.begin(0, "compute", 0.0)
+        t.end(0, "compute", 1.0)
+        t.record(0, "comm", 0.0, 1.0)
+        assert t.spans == []
+        assert t.fractions() == {p: 0.0 for p in ("compute", "local_agg", "global_agg", "comm")}

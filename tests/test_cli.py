@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9"])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig4", "--model", "vgg16", "--bandwidth", "56", "--seeds", "0,1"]
+        )
+        assert args.experiment == "fig4"
+        assert args.model == "vgg16"
+        assert args.bandwidth == 56.0
+        assert args.seeds == "0,1"
+
+
+class TestCommands:
+    def test_list_prints_algorithms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bsp" in out and "ad-psgd" in out
+        assert "table2" in out and "fig4" in out
+
+    def test_table1_runs_instantly(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "AD-PSGD" in out
+
+    def test_train_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "history.json"
+        code = main(
+            [
+                "train",
+                "bsp",
+                "--workers",
+                "2",
+                "--epochs",
+                "1",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        data = json.loads(out_file.read_text())
+        assert data["algorithm"].startswith("BSP")
+        assert 0.0 <= data["test_accuracy"][-1] <= 1.0
+
+    def test_run_table2_tiny(self, capsys, monkeypatch):
+        # Shrink the protocol so the CLI path is testable in seconds.
+        import repro.experiments.accuracy as acc
+
+        orig = acc.run_accuracy_experiment
+
+        def tiny(**kwargs):
+            kwargs.setdefault("algorithms", ("bsp",))
+            kwargs["num_workers"] = 2
+            kwargs["epochs"] = 1.0
+            return orig(**kwargs)
+
+        monkeypatch.setattr(acc, "run_table2", tiny)
+        assert main(["run", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out

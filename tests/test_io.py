@@ -1,0 +1,89 @@
+"""Tests for result serialization (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import ThroughputResult, TrainingHistory
+from repro.io import (
+    history_from_dict,
+    history_to_dict,
+    load_json,
+    save_json,
+    throughput_from_dict,
+    throughput_to_dict,
+    to_jsonable,
+)
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert isinstance(to_jsonable(np.float64(2.5)), float)
+
+    def test_numpy_arrays(self):
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_tuple_keys_flattened(self):
+        out = to_jsonable({(10.0, 24): 1.5})
+        assert out == {"10.0|24": 1.5}
+
+    def test_nested_structures(self):
+        out = to_jsonable({"a": [np.int32(1), {"b": (2, 3)}]})
+        assert out == {"a": [1, {"b": [2, 3]}]}
+
+    def test_unserialisable_becomes_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+
+class TestJsonRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        path = save_json({"x": np.float64(1.5)}, tmp_path / "out.json")
+        assert load_json(path) == {"x": 1.5}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_json([1, 2], tmp_path / "a" / "b" / "out.json")
+        assert path.exists()
+
+
+class TestHistoryRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        history = TrainingHistory(algorithm="BSP", num_workers=8)
+        history.record(epoch=0, time=0.0, test_accuracy=0.2, train_loss=1.6)
+        history.record(epoch=1, time=5.0, test_accuracy=0.6, train_loss=0.9)
+        history.total_iterations = 100
+        history.total_virtual_time = 5.0
+        path = save_json(history_to_dict(history), tmp_path / "h.json")
+        back = history_from_dict(load_json(path))
+        assert back.algorithm == "BSP"
+        assert back.final_test_accuracy == pytest.approx(0.6)
+        assert back.times == [0.0, 5.0]
+        assert back.total_iterations == 100
+
+    def test_metadata_excluded(self):
+        history = TrainingHistory()
+        history.metadata["config"] = object()  # unserialisable by design
+        data = history_to_dict(history)
+        assert "metadata" not in data
+
+
+class TestThroughputRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        result = ThroughputResult(
+            algorithm="ASP",
+            num_workers=24,
+            model="vgg16",
+            bandwidth_gbps=10.0,
+            measured_time=2.0,
+            measured_images=1000,
+            breakdown={"compute": 0.5, "comm": 0.5},
+        )
+        path = save_json(throughput_to_dict(result), tmp_path / "t.json")
+        back = throughput_from_dict(load_json(path))
+        assert back.throughput == pytest.approx(500.0)
+        assert back.breakdown["comm"] == 0.5
+        assert back.model == "vgg16"
