@@ -1,0 +1,100 @@
+"""Sweep-runtime benchmark: serial vs parallel vs warm-cache executor.
+
+Times a fixed Fig 2 sub-grid (2 algorithms × 2 bandwidths × 3 worker
+counts, ResNet-50) three ways:
+
+* ``serial_s``   — ``jobs=1``, cache disabled (the pre-executor path);
+* ``parallel_s`` — ``jobs=4``, cache disabled (pure process fan-out;
+  the speedup scales with available cores, recorded as
+  ``effective_cpus``);
+* ``warm_s``     — ``jobs=4`` against a fully warm run cache (zero
+  simulator runs).
+
+Each invocation appends one record to ``benchmarks/BENCH_sweeps.json``
+so runtime history is tracked across revisions. Marked ``slow``: it is
+a wall-clock measurement, not a tier-1 correctness test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor
+
+pytestmark = pytest.mark.slow
+
+BENCH_FILE = Path(__file__).parent / "BENCH_sweeps.json"
+JOBS = 4
+
+
+def bench_grid():
+    """The fixed Fig 2 sub-grid every record of BENCH_sweeps.json uses."""
+    return [
+        timing_config(
+            algo,
+            num_workers=n,
+            bandwidth_gbps=bw,
+            model="resnet50",
+            measure_iters=10,
+        )
+        for algo in ("bsp", "asp")
+        for bw in (10.0, 56.0)
+        for n in (4, 8, 16)
+    ]
+
+
+def _timed_map(executor: SweepExecutor, grid) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    results = executor.map(grid)
+    return time.perf_counter() - t0, results
+
+
+def test_sweep_runtime(tmp_path):
+    grid = bench_grid()
+
+    serial_s, serial_results = _timed_map(SweepExecutor(jobs=1, cache=False), grid)
+    parallel_s, parallel_results = _timed_map(
+        SweepExecutor(jobs=JOBS, cache=False), grid
+    )
+
+    # Parallelism must never change the numbers.
+    assert [r.measured_images for r in serial_results] == [
+        r.measured_images for r in parallel_results
+    ]
+    assert [r.measured_time for r in serial_results] == [
+        r.measured_time for r in parallel_results
+    ]
+
+    cache_dir = tmp_path / "cache"
+    SweepExecutor(jobs=JOBS, cache=True, cache_dir=cache_dir).map(grid)
+    warm_executor = SweepExecutor(jobs=JOBS, cache=True, cache_dir=cache_dir)
+    warm_s, _ = _timed_map(warm_executor, grid)
+    assert warm_executor.last_stats.executed == 0  # zero simulator runs
+
+    record = {
+        "grid": "fig2-sub: (bsp,asp) x (10,56)Gbps x (4,8,16)w, resnet50, 10 iters",
+        "runs": len(grid),
+        "jobs": JOBS,
+        "effective_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "warm_speedup": round(serial_s / warm_s, 1),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    records = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else []
+    records.append(record)
+    BENCH_FILE.write_text(json.dumps(records, indent=2) + "\n")
+    print("\n" + json.dumps(record, indent=2))
+
+    # The cache fast path must dominate cold execution outright.
+    assert warm_s < serial_s / 2

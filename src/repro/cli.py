@@ -10,10 +10,16 @@ Usage::
     python -m repro run fig2 [--model resnet50|vgg16]
     python -m repro run fig3
     python -m repro run fig4 [--model resnet50] [--bandwidth 10]
+    python -m repro run fig2 --jobs 8 --cache-dir /tmp/repro-cache
     python -m repro train bsp --workers 8 --epochs 10
 
 Every ``run`` prints the paper-style table and, with ``--output FILE``,
 also writes the structured result as JSON (see :mod:`repro.io`).
+
+Sweeps fan out over a process pool (``--jobs``, default: all cores)
+and reuse previous runs from a content-addressed cache keyed by the
+full run config (``--cache-dir``, default ``~/.cache/repro``; disable
+with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -47,6 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (fig4)")
     run.add_argument("--iters", type=int, default=None, help="measured iterations (timing experiments)")
     run.add_argument("--output", type=str, default=None, help="write JSON result here")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel simulator processes for the sweep (default: all cores)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not populate the run cache",
+    )
+    run.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     train = sub.add_parser("train", help="train one algorithm and print its history")
     train.add_argument("algorithm")
@@ -167,6 +190,15 @@ def main(argv: list[str] | None = None) -> int:
         print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
         return 0
     if args.command == "run":
+        from repro.experiments.executor import SweepExecutor, set_default_executor
+
+        set_default_executor(
+            SweepExecutor(
+                jobs=args.jobs,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+            )
+        )
         text, result = _run_experiment(args)
     else:
         text, result = _run_train(args)

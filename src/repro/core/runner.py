@@ -49,7 +49,7 @@ from repro.sim.trace import PhaseTracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import TrainingAlgorithm
 
-__all__ = ["RunConfig", "SampleClock", "Runtime", "DistributedRunner"]
+__all__ = ["RunConfig", "SampleClock", "Runtime", "DistributedRunner", "execute_run"]
 
 DATASETS = {
     "gaussian_blobs": make_gaussian_blobs,
@@ -128,6 +128,17 @@ class RunConfig:
             raise ValueError("num_ps_shards must be positive")
         if self.measure_iters <= 0 or self.warmup_iters < 0:
             raise ValueError("invalid timing-mode iteration counts")
+
+
+def execute_run(
+    config: RunConfig, *, max_events: int = 50_000_000
+) -> TrainingHistory | ThroughputResult:
+    """Build and execute one run from its config.
+
+    Module-level (picklable) so process pools — the sweep executor's
+    workers — can ship a bare :class:`RunConfig` to a child process.
+    """
+    return DistributedRunner(config).run(max_events=max_events)
 
 
 class SampleClock:

@@ -2,13 +2,17 @@
 
 * :mod:`repro.experiments.config` — canonical scaled configurations
   (DESIGN.md §6 scale mapping);
+* :mod:`repro.experiments.executor` — parallel sweep executor with a
+  content-addressed run cache (all drivers submit their grids here);
 * :mod:`repro.experiments.accuracy` — Table II, Fig 1, Table IV;
 * :mod:`repro.experiments.sensitivity` — Table III;
 * :mod:`repro.experiments.scalability` — Fig 2, Fig 3;
 * :mod:`repro.experiments.optimizations` — Fig 4.
 
 Every driver returns a structured result object with a ``render()``
-method that prints the same rows/series the paper reports.
+method that prints the same rows/series the paper reports. Drivers
+accept an ``executor=`` keyword; without one they use the process-wide
+default (serial, cache-free — identical to bare for-loop execution).
 """
 
 from repro.experiments.config import (
@@ -17,10 +21,22 @@ from repro.experiments.config import (
     mini_dgc_config,
     timing_config,
 )
+from repro.experiments.executor import (
+    SweepExecutor,
+    config_fingerprint,
+    default_executor,
+    run_sweep,
+    set_default_executor,
+)
 
 __all__ = [
     "PAPER_HYPERPARAMS",
     "mini_accuracy_config",
     "mini_dgc_config",
     "timing_config",
+    "SweepExecutor",
+    "config_fingerprint",
+    "default_executor",
+    "run_sweep",
+    "set_default_executor",
 ]

@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_table
-from repro.core.runner import DistributedRunner
+from repro.core.runner import PROFILES
 from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor, default_executor
+from repro.optimizations.sharding import make_sharding_plan
 
 __all__ = [
     "ShardingAblationResult",
@@ -74,15 +76,18 @@ def run_sharding_ablation(
     num_workers: int = 24,
     measure_iters: int = 10,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> ShardingAblationResult:
+    executor = executor or default_executor()
     result = ShardingAblationResult(
         algorithm=algorithm,
         model=model,
         bandwidth_gbps=bandwidth_gbps,
         num_workers=num_workers,
     )
-    for strategy in ("layerwise-rr", "layerwise-greedy", "element-balanced"):
-        cfg = timing_config(
+    strategies = ("layerwise-rr", "layerwise-greedy", "element-balanced")
+    configs = [
+        timing_config(
             algorithm,
             num_workers=num_workers,
             bandwidth_gbps=bandwidth_gbps,
@@ -91,10 +96,15 @@ def run_sharding_ablation(
             sharding_strategy=strategy,
             seed=seed,
         )
-        runner = DistributedRunner(cfg)
-        res = runner.run()
+        for strategy in strategies
+    ]
+    profile = PROFILES[model]()
+    for strategy, cfg, res in zip(strategies, configs, executor.map(configs)):
         result.throughput[strategy] = res.throughput
-        result.max_shard_fraction[strategy] = runner.runtime.sharding.max_shard_fraction()
+        # The plan is a pure function of (profile, shards, strategy), so
+        # it can be derived without touching the runner.
+        plan = make_sharding_plan(profile, cfg.num_ps_shards, strategy=strategy)
+        result.max_shard_fraction[strategy] = plan.max_shard_fraction()
     return result
 
 
@@ -133,20 +143,24 @@ def run_straggler_ablation(
     num_workers: int = 16,
     measure_iters: int = 10,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> StragglerAblationResult:
+    executor = executor or default_executor()
     result = StragglerAblationResult(num_workers=num_workers, spreads=tuple(spreads))
-    for algo in algorithms:
-        for spread in spreads:
-            cfg = timing_config(
-                algo,
-                num_workers=num_workers,
-                bandwidth_gbps=56.0,
-                measure_iters=measure_iters,
-                speed_spread=spread,
-                seed=seed,
-            )
-            res = DistributedRunner(cfg).run()
-            result.throughput[(algo, spread)] = res.throughput
+    cells = [(algo, spread) for algo in algorithms for spread in spreads]
+    configs = [
+        timing_config(
+            algo,
+            num_workers=num_workers,
+            bandwidth_gbps=56.0,
+            measure_iters=measure_iters,
+            speed_spread=spread,
+            seed=seed,
+        )
+        for algo, spread in cells
+    ]
+    for (algo, spread), res in zip(cells, executor.map(configs)):
+        result.throughput[(algo, spread)] = res.throughput
     return result
 
 
@@ -186,9 +200,11 @@ def run_ps_ratio_ablation(
     ratios: tuple[int, ...] = (1, 2, 4),
     measure_iters: int = 10,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> PSRatioAblationResult:
     """Reproduce the paper's PS-count profiling: r PS shards per 4-GPU
     VM for r ∈ {1, 2, 4} (§VI-D)."""
+    executor = executor or default_executor()
     result = PSRatioAblationResult(
         algorithm=algorithm,
         model=model,
@@ -196,8 +212,8 @@ def run_ps_ratio_ablation(
         num_workers=num_workers,
     )
     machines = max(1, (num_workers + 3) // 4)
-    for ratio in ratios:
-        cfg = timing_config(
+    configs = [
+        timing_config(
             algorithm,
             num_workers=num_workers,
             bandwidth_gbps=bandwidth_gbps,
@@ -206,6 +222,8 @@ def run_ps_ratio_ablation(
             num_ps_shards=ratio * machines,
             seed=seed,
         )
-        res = DistributedRunner(cfg).run()
+        for ratio in ratios
+    ]
+    for ratio, res in zip(ratios, executor.map(configs)):
         result.throughput[ratio] = res.throughput
     return result

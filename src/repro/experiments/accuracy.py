@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.history import TrainingHistory
-from repro.core.runner import DistributedRunner
 from repro.experiments.config import mini_accuracy_config, mini_dgc_config
+from repro.experiments.executor import SweepExecutor, default_executor
 
 __all__ = [
     "AccuracyResult",
@@ -82,9 +82,14 @@ def run_accuracy_experiment(
     seeds: tuple[int, ...] = (0,),
     fabric: str = "56g",
     algorithm_params: dict | None = None,
+    executor: SweepExecutor | None = None,
     **config_overrides,
 ) -> AccuracyResult:
-    """Run the Table II protocol; mean final accuracy over seeds."""
+    """Run the Table II protocol; mean final accuracy over seeds.
+
+    The full algorithm × seed grid goes through the sweep executor.
+    """
+    executor = executor or default_executor()
     kwargs = dict(num_workers=num_workers, fabric=fabric, **config_overrides)
     if epochs is not None:
         kwargs["epochs"] = epochs
@@ -95,13 +100,14 @@ def run_accuracy_experiment(
         epochs=kwargs.get("epochs", MINI_EPOCHS),
         seeds=tuple(seeds),
     )
+    cells = [(algo, seed) for algo in algorithms for seed in seeds]
+    configs = [
+        mini_accuracy_config(algo, seed=seed, algorithm_params=algorithm_params, **kwargs)
+        for algo, seed in cells
+    ]
+    runs = executor.map(configs)
     for algo in algorithms:
-        histories = []
-        for seed in seeds:
-            cfg = mini_accuracy_config(
-                algo, seed=seed, algorithm_params=algorithm_params, **kwargs
-            )
-            histories.append(DistributedRunner(cfg).run())
+        histories = [h for (a, _), h in zip(cells, runs) if a == algo]
         result.histories[algo] = histories
         result.accuracies[algo] = float(
             np.mean([h.final_test_accuracy for h in histories])
@@ -152,10 +158,12 @@ def run_table4(
     num_workers: int = 24,
     epochs: float | None = None,
     seeds: tuple[int, ...] = (0,),
+    executor: SweepExecutor | None = None,
     **config_overrides,
 ) -> DGCAccuracyResult:
     """Table IV protocol: BSP, ASP, SSP(s=3), SSP(s=10) ± DGC."""
-    configs = [
+    executor = executor or default_executor()
+    columns = [
         ("bsp", "bsp", {}),
         ("asp", "asp", {}),
         ("ssp_s3", "ssp", {"staleness": 3}),
@@ -165,18 +173,34 @@ def run_table4(
     kwargs = dict(num_workers=num_workers, **config_overrides)
     if epochs is not None:
         kwargs["epochs"] = epochs
-    for name, algo, params in configs:
-        accs = {True: [], False: []}
-        for dgc in (False, True):
-            for seed in seeds:
-                cfg = mini_accuracy_config(
-                    algo,
-                    seed=seed,
-                    algorithm_params=params,
-                    dgc=dgc,
-                    dgc_config=mini_dgc_config(num_workers) if dgc else None,
-                    **kwargs,
-                )
-                accs[dgc].append(DistributedRunner(cfg).run().final_test_accuracy)
+    cells = [
+        (name, dgc)
+        for name, _, _ in columns
+        for dgc in (False, True)
+        for _ in seeds
+    ]
+    configs = [
+        mini_accuracy_config(
+            algo,
+            seed=seed,
+            algorithm_params=params,
+            dgc=dgc,
+            dgc_config=mini_dgc_config(num_workers) if dgc else None,
+            **kwargs,
+        )
+        for _, algo, params in columns
+        for dgc in (False, True)
+        for seed in seeds
+    ]
+    runs = executor.map(configs)
+    for name, _, _ in columns:
+        accs = {
+            dgc: [
+                h.final_test_accuracy
+                for (n, d), h in zip(cells, runs)
+                if n == name and d == dgc
+            ]
+            for dgc in (False, True)
+        }
         result.rows[name] = (float(np.mean(accs[False])), float(np.mean(accs[True])))
     return result

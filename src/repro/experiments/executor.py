@@ -1,0 +1,335 @@
+"""Parallel sweep executor with a content-addressed run cache.
+
+Every paper artifact (Fig 1–4, Tables II–IV, the ablations) is a sweep
+of dozens of *independent, deterministic* simulator runs. This module
+turns those sweeps from serial for-loops into:
+
+1. **Fingerprinting** — :func:`config_fingerprint` derives a stable
+   SHA-256 digest from the full :class:`~repro.core.runner.RunConfig`
+   dataclass tree (cluster, comm model, DGC config, seeds) plus the
+   ``repro`` package version. Two configs fingerprint equal iff every
+   field of the tree is equal.
+2. **Content-addressed caching** — :class:`RunCache` stores one JSON
+   file per fingerprint under ``~/.cache/repro`` (override with
+   ``cache_dir`` or ``$REPRO_CACHE_DIR``). A warm re-run of a sweep
+   performs zero simulator runs. Corrupted or mismatched entries are
+   discarded, never fatal.
+3. **Parallel fan-out** — cache misses are executed on a
+   ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers,
+   default ``os.cpu_count()``). Results are collected in submission
+   (FIFO) order and every result — hit or miss, serial or parallel —
+   passes through the same JSON round-trip, so sweep output is
+   bit-identical regardless of ``jobs``.
+
+Identical configs submitted twice in one sweep are executed once and
+materialised per occurrence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.core.history import ThroughputResult, TrainingHistory
+from repro.core.runner import RunConfig, execute_run
+
+__all__ = [
+    "config_fingerprint",
+    "RunCache",
+    "SweepStats",
+    "SweepExecutor",
+    "run_sweep",
+    "default_executor",
+    "set_default_executor",
+]
+
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
+
+
+# -- fingerprinting -----------------------------------------------------
+
+
+def _canonical(obj):
+    """Recursively reduce a config value to canonical JSON-able form.
+
+    Dataclasses are tagged with their class name so that, e.g., a
+    ``DGCConfig`` and a plain dict with the same fields cannot
+    collide; dict keys are sorted; tuples and lists coincide (both are
+    sequences of run parameters).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist()}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {f.name: _canonical(getattr(obj, f.name)) for f in fields(obj)},
+        }
+    if isinstance(obj, dict):
+        return {
+            "__dict__": [
+                [str(k), _canonical(v)]
+                for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+            ]
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(repr(v) for v in obj)}
+    return {"__repr__": repr(obj)}
+
+
+def config_fingerprint(config: RunConfig) -> str:
+    """Deterministic content address of one run.
+
+    Any change to any field of the config tree — including nested
+    ``ClusterSpec``/``CommModel``/``DGCConfig`` fields and seeds — or
+    to the ``repro`` version yields a different fingerprint.
+    """
+    if not is_dataclass(config) or isinstance(config, type):
+        raise TypeError(
+            f"config_fingerprint expects a RunConfig instance, got {config!r}"
+        )
+    document = {"repro_version": __version__, "config": _canonical(config)}
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- result payloads ----------------------------------------------------
+
+_KINDS = {"history": TrainingHistory, "throughput": ThroughputResult}
+
+
+def _result_to_payload(result: TrainingHistory | ThroughputResult) -> dict:
+    """Serialize a run result to the wire/cache payload form.
+
+    The JSON round-trip is applied unconditionally (even for in-process
+    serial execution) so that every path — serial, pooled, cache hit —
+    yields structurally identical results.
+    """
+    if isinstance(result, TrainingHistory):
+        kind = "history"
+    elif isinstance(result, ThroughputResult):
+        kind = "throughput"
+    else:  # pragma: no cover - runner only returns these two
+        raise TypeError(f"unexpected run result type {type(result).__name__}")
+    return json.loads(json.dumps({"kind": kind, "data": result.to_dict()}))
+
+
+def _payload_to_result(
+    payload: dict, config: RunConfig
+) -> TrainingHistory | ThroughputResult:
+    result = _KINDS[payload["kind"]].from_dict(payload["data"])
+    if payload["kind"] == "history":
+        # Full-mode histories carry their config in metadata; it is
+        # implied by the cache key, so it travels out-of-band.
+        result.metadata["config"] = config
+    return result
+
+
+def _execute_payload(config: RunConfig) -> dict:
+    """Pool worker entry point: run one config, return its payload."""
+    return _result_to_payload(execute_run(config))
+
+
+# -- on-disk cache ------------------------------------------------------
+
+
+class RunCache:
+    """Content-addressed store of run payloads, one JSON file each.
+
+    Entries self-describe (fingerprint, repro version, payload kind);
+    anything unreadable or inconsistent is treated as a miss and the
+    offending file is removed best-effort.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root).expanduser()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict | None:
+        """Return the cached payload, or None (discarding bad entries)."""
+        path = self._path(fingerprint)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("fingerprint") != fingerprint
+            or entry.get("kind") not in _KINDS
+            or not isinstance(entry.get("data"), dict)
+        ):
+            self._discard(path)
+            return None
+        return {"kind": entry["kind"], "data": entry["data"]}
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "fingerprint": fingerprint,
+            "repro_version": __version__,
+            "kind": payload["kind"],
+            "data": payload["data"],
+        }
+        path = self._path(fingerprint)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial writes
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# -- the executor -------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepExecutor.map` call actually did."""
+
+    total: int = 0  # configs submitted
+    unique: int = 0  # distinct fingerprints
+    cache_hits: int = 0  # unique fingerprints served from cache
+    executed: int = 0  # simulator runs performed
+    jobs: int = 1  # pool width used for the misses
+
+
+class SweepExecutor:
+    """Runs grids of :class:`RunConfig` with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache misses. ``None`` means
+        ``os.cpu_count()``; ``1`` executes in-process (no pool).
+    cache:
+        Whether to consult/populate the on-disk run cache.
+    cache_dir:
+        Cache location (default ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = None,
+        cache: bool = True,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if jobs is not None and jobs <= 0:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = RunCache(cache_dir) if cache else None
+        self.last_stats = SweepStats()
+
+    def map(
+        self, configs: Sequence[RunConfig]
+    ) -> list[TrainingHistory | ThroughputResult]:
+        """Execute ``configs``; results align index-for-index.
+
+        Ordering is FIFO-stable: result ``i`` always corresponds to
+        ``configs[i]`` no matter which worker finished first, so sweep
+        outputs are bit-identical to serial execution.
+        """
+        configs = list(configs)
+        prints = [config_fingerprint(cfg) for cfg in configs]
+        stats = SweepStats(total=len(configs), jobs=self.jobs)
+
+        # Deduplicate: first occurrence of each fingerprint wins.
+        representative: dict[str, RunConfig] = {}
+        for cfg, fp in zip(configs, prints):
+            representative.setdefault(fp, cfg)
+        stats.unique = len(representative)
+
+        payloads: dict[str, dict] = {}
+        if self.cache is not None:
+            for fp in representative:
+                payload = self.cache.get(fp)
+                if payload is not None:
+                    payloads[fp] = payload
+            stats.cache_hits = len(payloads)
+
+        todo = [(fp, cfg) for fp, cfg in representative.items() if fp not in payloads]
+        stats.executed = len(todo)
+        if todo:
+            if self.jobs == 1 or len(todo) == 1:
+                fresh = [_execute_payload(cfg) for _, cfg in todo]
+            else:
+                # The pool is created only on a miss: warm-cache sweeps
+                # never spawn workers.
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(todo))
+                ) as pool:
+                    futures = [pool.submit(_execute_payload, cfg) for _, cfg in todo]
+                    fresh = [future.result() for future in futures]
+            for (fp, _), payload in zip(todo, fresh):
+                payloads[fp] = payload
+                if self.cache is not None:
+                    self.cache.put(fp, payload)
+
+        self.last_stats = stats
+        # Materialise one result object per submitted config (identical
+        # configs share a payload but never an object).
+        return [
+            _payload_to_result(payloads[fp], cfg) for cfg, fp in zip(configs, prints)
+        ]
+
+
+# -- process-wide default ----------------------------------------------
+#
+# Library calls (and the tier-1 tests) default to plain serial,
+# cache-free execution — exactly the pre-executor behaviour. The CLI
+# (and any embedding application) opts into parallelism/caching by
+# installing a configured executor here.
+
+_default_executor: SweepExecutor | None = None
+
+
+def default_executor() -> SweepExecutor:
+    """The executor drivers use when none is passed explicitly."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor(jobs=1, cache=False)
+    return _default_executor
+
+
+def set_default_executor(executor: SweepExecutor | None) -> None:
+    """Install (or with ``None``, reset) the process-wide default."""
+    global _default_executor
+    _default_executor = executor
+
+
+def run_sweep(
+    configs: Sequence[RunConfig],
+    *,
+    jobs: int | None = None,
+    cache: bool = True,
+    cache_dir: str | Path | None = None,
+) -> list[TrainingHistory | ThroughputResult]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(jobs=jobs, cache=cache, cache_dir=cache_dir).map(configs)

@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_table
-from repro.core.runner import DistributedRunner
 from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor, default_executor
 
 __all__ = ["OptimizationLadderResult", "run_fig4", "LADDER"]
 
@@ -81,23 +81,34 @@ def run_fig4(
     worker_counts: tuple[int, ...] = (8, 16, 24),
     measure_iters: int = 20,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> OptimizationLadderResult:
+    executor = executor or default_executor()
     result = OptimizationLadderResult(
         model=model, bandwidth_gbps=bandwidth_gbps, worker_counts=tuple(worker_counts)
     )
+    cells = [
+        (algo, n, label)
+        for algo in algorithms
+        for n in worker_counts
+        for label, _ in LADDER
+    ]
+    configs = [
+        timing_config(
+            algo,
+            num_workers=n,
+            bandwidth_gbps=bandwidth_gbps,
+            model=model,
+            measure_iters=measure_iters,
+            seed=seed,
+            **overrides,
+        )
+        for algo in algorithms
+        for n in worker_counts
+        for _, overrides in LADDER
+    ]
     for algo in algorithms:
         result.throughput[algo] = {}
-        for n in worker_counts:
-            for label, overrides in LADDER:
-                cfg = timing_config(
-                    algo,
-                    num_workers=n,
-                    bandwidth_gbps=bandwidth_gbps,
-                    model=model,
-                    measure_iters=measure_iters,
-                    seed=seed,
-                    **overrides,
-                )
-                res = DistributedRunner(cfg).run()
-                result.throughput[algo][(n, label)] = res.throughput
+    for (algo, n, label), res in zip(cells, executor.map(configs)):
+        result.throughput[algo][(n, label)] = res.throughput
     return result

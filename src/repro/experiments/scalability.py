@@ -17,8 +17,9 @@ from repro.analysis.breakdown import breakdown_table, normalize_breakdown
 from repro.analysis.scalability import ideal_single_worker_throughput
 from repro.analysis.tables import format_table
 from repro.core.history import ThroughputResult
-from repro.core.runner import DistributedRunner, PROFILES
+from repro.core.runner import PROFILES
 from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor, default_executor
 from repro.sim.cluster import TITAN_V
 
 __all__ = [
@@ -88,13 +89,16 @@ def run_fig2(
     measure_iters: int = 20,
     with_optimizations: bool = True,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> ScalabilityResult:
     """Run the Fig 2 protocol.
 
     ``with_optimizations`` applies the two accuracy-neutral techniques
     (sharding + wait-free BP) where each algorithm supports them, as
-    the paper does for this experiment.
+    the paper does for this experiment. The whole grid is submitted
+    through the sweep ``executor`` (parallel + cached when configured).
     """
+    executor = executor or default_executor()
     profile = PROFILES[model]()
     batch = 128 if model == "resnet50" else 96
     baseline = ideal_single_worker_throughput(profile, batch, TITAN_V)
@@ -104,23 +108,30 @@ def run_fig2(
         bandwidths=tuple(bandwidths),
         baseline_throughput=baseline,
     )
+    cells = [
+        (algo, bw, n)
+        for algo in algorithms
+        for bw in bandwidths
+        for n in worker_counts
+    ]
+    configs = [
+        timing_config(
+            algo,
+            num_workers=n,
+            bandwidth_gbps=bw,
+            model=model,
+            measure_iters=measure_iters,
+            wait_free_bp=with_optimizations and _supports(algo, "waitfree"),
+            seed=seed,
+        )
+        for algo, bw, n in cells
+    ]
     for algo in algorithms:
         result.speedup[algo] = {}
         result.raw[algo] = {}
-        for bw in bandwidths:
-            for n in worker_counts:
-                cfg = timing_config(
-                    algo,
-                    num_workers=n,
-                    bandwidth_gbps=bw,
-                    model=model,
-                    measure_iters=measure_iters,
-                    wait_free_bp=with_optimizations and _supports(algo, "waitfree"),
-                    seed=seed,
-                )
-                res = DistributedRunner(cfg).run()
-                result.raw[algo][(bw, n)] = res
-                result.speedup[algo][(bw, n)] = res.throughput / baseline
+    for (algo, bw, n), res in zip(cells, executor.map(configs)):
+        result.raw[algo][(bw, n)] = res
+        result.speedup[algo][(bw, n)] = res.throughput / baseline
     return result
 
 
@@ -142,21 +153,29 @@ def run_fig3(
     num_workers: int = 24,
     measure_iters: int = 15,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> BreakdownResult:
     """Run the Fig 3 protocol: breakdowns at full cluster scale."""
+    executor = executor or default_executor()
     result = BreakdownResult()
-    for model in models:
-        for bw in bandwidths:
-            for algo in algorithms:
-                cfg = timing_config(
-                    algo,
-                    num_workers=num_workers,
-                    bandwidth_gbps=bw,
-                    model=model,
-                    measure_iters=measure_iters,
-                    seed=seed,
-                )
-                res = DistributedRunner(cfg).run()
-                key = f"{algo.upper()} {model} {bw:g}G"
-                result.rows[key] = normalize_breakdown(res.breakdown)
+    cells = [
+        (model, bw, algo)
+        for model in models
+        for bw in bandwidths
+        for algo in algorithms
+    ]
+    configs = [
+        timing_config(
+            algo,
+            num_workers=num_workers,
+            bandwidth_gbps=bw,
+            model=model,
+            measure_iters=measure_iters,
+            seed=seed,
+        )
+        for model, bw, algo in cells
+    ]
+    for (model, bw, algo), res in zip(cells, executor.map(configs)):
+        key = f"{algo.upper()} {model} {bw:g}G"
+        result.rows[key] = normalize_breakdown(res.breakdown)
     return result

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.runner import DistributedRunner
 from repro.experiments.config import mini_accuracy_config
+from repro.experiments.executor import SweepExecutor, default_executor
 
 __all__ = ["SensitivityResult", "run_table3", "TABLE3_COLUMNS", "PAPER_TABLE3"]
 
@@ -81,20 +81,36 @@ def run_table3(
     worker_counts: tuple[int, ...] = (4, 8, 16, 24),
     seeds: tuple[int, ...] = (0,),
     epochs: float | None = None,
+    executor: SweepExecutor | None = None,
     **config_overrides,
 ) -> SensitivityResult:
+    executor = executor or default_executor()
     result = SensitivityResult(worker_counts=tuple(worker_counts), seeds=tuple(seeds))
     kwargs = dict(config_overrides)
     if epochs is not None:
         kwargs["epochs"] = epochs
-    for label, algo, params in columns:
+    cells = [
+        (label, n, seed)
+        for label, _, _ in columns
+        for n in worker_counts
+        for seed in seeds
+    ]
+    configs = [
+        mini_accuracy_config(
+            algo, num_workers=n, seed=seed, algorithm_params=params, **kwargs
+        )
+        for _, algo, params in columns
+        for n in worker_counts
+        for seed in seeds
+    ]
+    runs = executor.map(configs)
+    for label, _, _ in columns:
         result.accuracy[label] = {}
         for n in worker_counts:
-            accs = []
-            for seed in seeds:
-                cfg = mini_accuracy_config(
-                    algo, num_workers=n, seed=seed, algorithm_params=params, **kwargs
-                )
-                accs.append(DistributedRunner(cfg).run().final_test_accuracy)
+            accs = [
+                h.final_test_accuracy
+                for (l, m, _), h in zip(cells, runs)
+                if l == label and m == n
+            ]
             result.accuracy[label][n] = float(np.mean(accs))
     return result

@@ -23,6 +23,7 @@ free, and only ~250 lines — small enough to property-test exhaustively.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from repro.sim.events import EventQueue
@@ -126,17 +127,19 @@ class Store:
     """Unbounded FIFO channel between processes.
 
     ``put`` never blocks; ``Get`` blocks until an item arrives. Items
-    are delivered to getters in strict arrival order.
+    are delivered to getters in strict arrival order. Both queues are
+    deques: channel ops are on the hot path of every PS message, and a
+    ``list.pop(0)`` there would make each delivery O(queue length).
     """
 
     def __init__(self, engine: "Engine") -> None:
         self._engine = engine
-        self._items: list[Any] = []
-        self._getters: list["Process"] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque["Process"] = deque()
 
     def put(self, item: Any) -> None:
         if self._getters:
-            process = self._getters.pop(0)
+            process = self._getters.popleft()
             self._engine._schedule(0.0, lambda: process._resume(item))
         else:
             self._items.append(item)
@@ -156,7 +159,7 @@ class Get:
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
         store = self.store
         if store._items:
-            item = store._items.pop(0)
+            item = store._items.popleft()
             engine._schedule(0.0, lambda: process._resume(item))
         else:
             store._getters.append(process)

@@ -24,24 +24,39 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning queue, set on push; lets cancel() keep the queue's live
+    # counter exact without a heap scan.
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; the queue skips it on pop."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with stable FIFO tie-breaking."""
+    """Min-heap of :class:`Event` with stable FIFO tie-breaking.
+
+    The number of *live* (non-cancelled) events is tracked on
+    push/pop/cancel, so ``len(queue)`` is O(1) instead of a scan of
+    the whole heap.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         if time != time:  # NaN guard
             raise ValueError("event time is NaN")
         event = Event(time=time, seq=next(self._counter), callback=callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
@@ -49,6 +64,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None  # cancel() after pop must not re-decrement
                 return event
         return None
 
@@ -58,7 +75,7 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

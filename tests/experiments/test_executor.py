@@ -1,0 +1,246 @@
+"""Tests for the parallel sweep executor and its run cache.
+
+The load-bearing properties:
+
+* parallel execution is *bit-identical* to serial execution (after
+  stable serialization) for the same grid;
+* a warm cache serves a sweep without spawning any worker process;
+* the fingerprint changes when any ``RunConfig`` field changes,
+  including fields of the nested ``CommModel``/``DGCConfig``/cluster
+  dataclasses;
+* corrupted cache entries are discarded, never fatal.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.runner import RunConfig
+from repro.experiments.config import mini_accuracy_config, timing_config
+from repro.experiments.executor import (
+    RunCache,
+    SweepExecutor,
+    config_fingerprint,
+    default_executor,
+    run_sweep,
+    set_default_executor,
+)
+from repro.experiments.scalability import run_fig2
+from repro.io import to_jsonable
+from repro.optimizations.dgc import DGCConfig
+from repro.sim.costmodel import CommModel
+
+
+def tiny_timing(algo="bsp", n=1, **overrides):
+    return timing_config(
+        algo, num_workers=n, measure_iters=2, warmup_iters=1, **overrides
+    )
+
+
+def tiny_grid():
+    return [
+        tiny_timing(algo, n) for algo in ("bsp", "ad-psgd") for n in (1, 2)
+    ]
+
+
+def stable(results):
+    """Stable serialization used for bit-identity comparisons."""
+    return [json.dumps(to_jsonable(r), sort_keys=True) for r in results]
+
+
+class TestFingerprint:
+    def test_deterministic_across_constructions(self):
+        assert config_fingerprint(tiny_timing()) == config_fingerprint(tiny_timing())
+
+    def test_every_top_level_field_matters(self):
+        base = tiny_timing()
+        for override in (
+            {"seed": 1},
+            {"warmup_iters": 0},
+            {"measure_iters": 3},
+            {"batch_size": 64},
+            {"profile_name": "vgg16"},
+            {"wait_free_bp": True},
+            {"speed_spread": 0.06},
+        ):
+            changed = dataclasses.replace(base, **override)
+            assert config_fingerprint(changed) != config_fingerprint(base), override
+
+    def test_nested_comm_model_matters(self):
+        base = tiny_timing()
+        changed = dataclasses.replace(
+            base, comm_model=CommModel(agg_seconds_per_byte=2.0 / 1e9)
+        )
+        assert config_fingerprint(changed) != config_fingerprint(base)
+
+    def test_nested_dgc_config_matters(self):
+        base = tiny_timing(dgc=True, dgc_config=DGCConfig(num_workers=1))
+        changed = dataclasses.replace(
+            base, dgc_config=DGCConfig(num_workers=1, final_ratio=0.01)
+        )
+        assert config_fingerprint(changed) != config_fingerprint(base)
+
+    def test_nested_cluster_matters(self):
+        a = tiny_timing(bandwidth_gbps=10.0)
+        b = tiny_timing(bandwidth_gbps=56.0)
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_full_mode_config_fingerprints(self):
+        a = mini_accuracy_config("bsp", num_workers=2, epochs=1.0)
+        b = mini_accuracy_config("bsp", num_workers=2, epochs=1.0, seed=1)
+        assert config_fingerprint(a) == config_fingerprint(
+            mini_accuracy_config("bsp", num_workers=2, epochs=1.0)
+        )
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+
+class TestParallelSerialParity:
+    def test_parallel_bit_identical_to_serial(self):
+        grid = tiny_grid()
+        serial = SweepExecutor(jobs=1, cache=False).map(grid)
+        parallel = SweepExecutor(jobs=4, cache=False).map(grid)
+        assert stable(serial) == stable(parallel)
+
+    def test_fig2_grid_identical_through_driver(self, tmp_path):
+        kwargs = dict(
+            algorithms=("bsp", "ad-psgd"),
+            worker_counts=(1, 2),
+            bandwidths=(10.0,),
+            measure_iters=2,
+        )
+        serial = run_fig2(executor=SweepExecutor(jobs=1, cache=False), **kwargs)
+        parallel = run_fig2(executor=SweepExecutor(jobs=4, cache=False), **kwargs)
+        assert stable([serial.raw]) == stable([parallel.raw])
+        assert serial.speedup == parallel.speedup
+        assert serial.render() == parallel.render()
+
+    def test_results_align_with_submission_order(self):
+        grid = [tiny_timing("bsp", n) for n in (2, 1, 4)]
+        results = SweepExecutor(jobs=4, cache=False).map(grid)
+        assert [r.num_workers for r in results] == [2, 1, 4]
+
+    def test_full_mode_history_parity_and_config_reattached(self, tmp_path):
+        grid = [
+            mini_accuracy_config("bsp", num_workers=2, epochs=1.0, seed=s)
+            for s in (0, 1)
+        ]
+        serial = SweepExecutor(jobs=1, cache=False).map(grid)
+        parallel = SweepExecutor(jobs=2, cache=False).map(grid)
+        assert stable(serial) == stable(parallel)
+        for cfg, history in zip(grid, parallel):
+            assert history.metadata["config"] is cfg
+            assert history.metadata["total_messages"] > 0
+
+
+class TestRunCache:
+    def test_warm_sweep_executes_nothing(self, tmp_path):
+        grid = tiny_grid()
+        cold = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        cold_results = cold.map(grid)
+        assert cold.last_stats.executed == len(grid)
+        warm = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        warm_results = warm.map(grid)
+        assert warm.last_stats.executed == 0
+        assert warm.last_stats.cache_hits == len(grid)
+        assert stable(cold_results) == stable(warm_results)
+
+    def test_cache_hit_spawns_no_worker_processes(self, tmp_path, monkeypatch):
+        grid = tiny_grid()
+        SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path).map(grid)
+
+        import repro.experiments.executor as executor_module
+
+        def _forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned on a fully warm cache")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", _forbidden)
+        warm = SweepExecutor(jobs=4, cache=True, cache_dir=tmp_path)
+        results = warm.map(grid)
+        assert len(results) == len(grid)
+        assert warm.last_stats.executed == 0
+
+    def test_corrupted_entry_discarded_not_fatal(self, tmp_path):
+        grid = [tiny_timing()]
+        ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        ex.map(grid)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{ this is not json")
+        again = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        results = again.map(grid)
+        assert again.last_stats.executed == 1  # treated as a miss
+        assert results[0].measured_images > 0
+        # The bad entry was replaced by a valid one.
+        assert again.map(grid) and again.last_stats.cache_hits == 1
+
+    def test_mismatched_fingerprint_entry_discarded(self, tmp_path):
+        grid = [tiny_timing()]
+        ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        ex.map(grid)
+        (entry,) = tmp_path.glob("*.json")
+        payload = json.loads(entry.read_text())
+        payload["fingerprint"] = "0" * 64
+        entry.write_text(json.dumps(payload))
+        again = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        again.map(grid)
+        assert again.last_stats.executed == 1
+
+    def test_wrong_kind_entry_discarded(self, tmp_path):
+        fp = config_fingerprint(tiny_timing())
+        cache = RunCache(tmp_path)
+        (tmp_path / f"{fp}.json").write_text(
+            json.dumps({"fingerprint": fp, "kind": "bogus", "data": {}})
+        )
+        assert cache.get(fp) is None
+        assert not (tmp_path / f"{fp}.json").exists()
+
+    def test_duplicate_configs_run_once_distinct_objects(self, tmp_path):
+        cfg = tiny_timing()
+        ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        a, b = ex.map([cfg, dataclasses.replace(cfg)])
+        assert ex.last_stats.executed == 1
+        assert ex.last_stats.total == 2
+        assert a is not b
+        assert stable([a]) == stable([b])
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = RunCache()
+        assert cache.root == tmp_path / "envcache"
+
+
+class TestExecutorPlumbing:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_run_sweep_convenience(self, tmp_path):
+        results = run_sweep([tiny_timing()], jobs=1, cache_dir=tmp_path)
+        assert results[0].throughput > 0
+
+    def test_default_executor_is_serial_and_cache_free(self):
+        set_default_executor(None)
+        ex = default_executor()
+        assert ex.jobs == 1
+        assert ex.cache is None
+
+    def test_set_default_executor(self, tmp_path):
+        custom = SweepExecutor(jobs=2, cache=True, cache_dir=tmp_path)
+        set_default_executor(custom)
+        try:
+            assert default_executor() is custom
+        finally:
+            set_default_executor(None)
+
+    def test_non_dataclass_rejected_by_fingerprint(self):
+        with pytest.raises(TypeError):
+            config_fingerprint(object())  # type: ignore[arg-type]
+
+
+def test_runconfig_is_picklable_for_pools():
+    import pickle
+
+    cfg = tiny_timing(dgc=True, dgc_config=DGCConfig(num_workers=1))
+    clone = pickle.loads(pickle.dumps(cfg))
+    assert isinstance(clone, RunConfig)
+    assert config_fingerprint(clone) == config_fingerprint(cfg)

@@ -47,6 +47,36 @@ class TestEventQueue:
         e.cancel()
         assert len(q) == 1
 
+    def test_len_tracks_push_pop_cancel(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(8)]
+        assert len(q) == 8
+        events[0].cancel()
+        events[5].cancel()
+        assert len(q) == 6
+        q.pop()  # pops t=1 (t=0 was cancelled)
+        assert len(q) == 5
+        while q.pop() is not None:
+            pass
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_counted_once(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        e.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is e
+        e.cancel()
+        assert len(q) == 1
+
     def test_empty_queue(self):
         q = EventQueue()
         assert not q
