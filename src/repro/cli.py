@@ -12,14 +12,26 @@ Usage::
     python -m repro run fig4 [--model resnet50] [--bandwidth 10]
     python -m repro run fig2 --jobs 8 --cache-dir /tmp/repro-cache
     python -m repro train bsp --workers 8 --epochs 10
+    python -m repro trace fig3 --out fig3_trace.json
+    python -m repro run fig3 --trace-out fig3_trace.json
 
 Every ``run`` prints the paper-style table and, with ``--output FILE``,
-also writes the structured result as JSON (see :mod:`repro.io`).
+also writes the structured result as JSON (see :mod:`repro.io`),
+wrapped together with the sweep statistics.
 
 Sweeps fan out over a process pool (``--jobs``, default: all cores)
 and reuse previous runs from a content-addressed cache keyed by the
 full run config (``--cache-dir``, default ``~/.cache/repro``; disable
-with ``--no-cache``).
+with ``--no-cache``). Per-run progress goes to stderr; a one-line
+sweep summary (submitted / cached / executed / wall time) is printed
+after every sweep.
+
+``trace`` (or ``--trace-out`` on ``run``/``train``) exports a
+Chrome/Perfetto trace-event JSON of one instrumented run — load it at
+https://ui.perfetto.dev or chrome://tracing. ``run --trace-out``
+instruments a *representative* run of the experiment (the sweep
+itself stays uninstrumented and cacheable); ``train --trace-out``
+instruments the actual training run.
 """
 
 from __future__ import annotations
@@ -70,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    run.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="also export a Perfetto trace of one representative run here",
+    )
 
     train = sub.add_parser("train", help="train one algorithm and print its history")
     train.add_argument("algorithm")
@@ -78,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--fabric", choices=("10g", "56g"), default="56g")
     train.add_argument("--output", type=str, default=None)
+    train.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="export a Perfetto trace of this training run here",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="export a Perfetto trace of one representative run"
+    )
+    trace.add_argument(
+        "experiment", choices=tuple(e for e in EXPERIMENTS if e != "table1")
+    )
+    trace.add_argument("--out", type=str, required=True, help="trace JSON path")
+    trace.add_argument("--workers", type=int, default=None)
+    trace.add_argument("--iters", type=int, default=None, help="measured iterations (timing experiments)")
+    trace.add_argument("--epochs", type=float, default=None, help="training epochs (accuracy experiments)")
+    trace.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
+    trace.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (timing experiments)")
+    trace.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -154,6 +192,24 @@ def _run_experiment(args: argparse.Namespace) -> tuple[str, Any]:
     raise ValueError(f"unknown experiment {args.experiment!r}")  # pragma: no cover
 
 
+def _instrumented_run(cfg: Any, trace_path: str, label: str) -> Any:
+    """Run ``cfg`` with observability on and export its Perfetto trace."""
+    from repro.core.runner import DistributedRunner
+    from repro.obs import ObsConfig, write_trace
+
+    runner = DistributedRunner(cfg, obs=ObsConfig(enabled=True))
+    result = runner.run()
+    path = write_trace(
+        trace_path,
+        tracer=runner.ctx.tracer,
+        observer=runner.observer,
+        cluster=cfg.cluster,
+        label=label,
+    )
+    print(f"[trace written to {path}]")
+    return result
+
+
 def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
     from repro.analysis.tables import format_table
     from repro.core.runner import DistributedRunner
@@ -167,7 +223,12 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
         seed=args.seed,
         fabric=args.fabric,
     )
-    history = DistributedRunner(cfg).run()
+    if args.trace_out:
+        history = _instrumented_run(
+            cfg, args.trace_out, f"repro train {args.algorithm}"
+        )
+    else:
+        history = DistributedRunner(cfg).run()
     rows = [
         [round(e, 2), round(t, 1), acc]
         for e, t, acc in zip(history.epochs, history.times, history.test_accuracy)
@@ -181,6 +242,22 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
     return text, history_to_dict(history)
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.config import representative_config
+
+    cfg = representative_config(
+        args.experiment,
+        workers=args.workers,
+        iters=args.iters,
+        epochs=args.epochs,
+        model=args.model,
+        bandwidth_gbps=args.bandwidth,
+        seed=args.seed,
+    )
+    _instrumented_run(cfg, args.out, f"repro trace {args.experiment}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -189,22 +266,49 @@ def main(argv: list[str] | None = None) -> int:
         print("experiments:", ", ".join(EXPERIMENTS))
         print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
         return 0
+    if args.command == "trace":
+        return _run_trace(args)
+    sweep_stats = None
     if args.command == "run":
         from repro.experiments.executor import SweepExecutor, set_default_executor
 
-        set_default_executor(
-            SweepExecutor(
-                jobs=args.jobs,
-                cache=not args.no_cache,
-                cache_dir=args.cache_dir,
-            )
+        executor = SweepExecutor(
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            progress=lambda line: print(line, file=sys.stderr),
         )
+        set_default_executor(executor)
         text, result = _run_experiment(args)
+        if executor.total_stats.total:
+            sweep_stats = executor.total_stats
     else:
         text, result = _run_train(args)
     print(text)
+    if sweep_stats is not None:
+        print(f"\nsweep stats: {sweep_stats.summary()}")
+    if args.command == "run" and args.trace_out:
+        from repro.experiments.config import representative_config
+
+        try:
+            cfg = representative_config(
+                args.experiment,
+                workers=args.workers,
+                iters=args.iters,
+                epochs=args.epochs,
+                model=args.model,
+                bandwidth_gbps=args.bandwidth,
+            )
+        except ValueError as exc:
+            print(f"[no trace: {exc}]", file=sys.stderr)
+        else:
+            _instrumented_run(cfg, args.trace_out, f"repro run {args.experiment}")
     if args.output:
-        path = save_json(result, args.output)
+        if args.command == "run" and sweep_stats is not None:
+            payload: Any = {"result": result, "sweep_stats": sweep_stats.to_dict()}
+        else:
+            payload = result
+        path = save_json(payload, args.output)
         print(f"\n[result written to {path}]")
     return 0
 

@@ -11,9 +11,12 @@ communication threads reduce to this).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.comm.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunObserver
 from repro.sim.cluster import ClusterSpec
 from repro.sim.costmodel import CommModel
 from repro.sim.engine import Engine, Get, Signal, Store
@@ -33,6 +36,7 @@ class CommContext:
     cluster: ClusterSpec
     comm_model: CommModel = field(default_factory=CommModel)
     tracer: PhaseTracer = field(default_factory=lambda: PhaseTracer(enabled=False))
+    observer: "RunObserver | None" = None
 
     @property
     def now(self) -> float:
@@ -103,6 +107,15 @@ class Node:
             msg.recv_time = engine.now
             if trace_worker is not None:
                 self.ctx.tracer.record(trace_worker, "comm", send_time, engine.now)
+            if self.ctx.observer is not None:
+                self.ctx.observer.on_message(
+                    src_machine=self.machine,
+                    dst_machine=dst.machine,
+                    kind=kind,
+                    nbytes=nbytes,
+                    t_send=send_time,
+                    t_recv=engine.now,
+                )
             dst.mailbox(kind).put(msg)
 
         if done.triggered:

@@ -96,6 +96,10 @@ class PSShard(Node):
         # (timing mode tracks versions only; see reply_params).
         self._version = 0
         self._worker_version: dict[int, int] = {}
+        # Observability-only: version each worker last pulled, tracked
+        # separately from the DGC delta-pull state so enabling obs
+        # never perturbs algorithm state.
+        self._obs_last_pull: dict[int, int] = {}
         self._last_modified: np.ndarray | None = (
             np.zeros(assignment.num_elements, dtype=np.int64)
             if init_params is not None
@@ -251,6 +255,15 @@ class PSShard(Node):
             base_meta.update(meta)
         trace_worker = base_meta.get("trace_worker")
         wid = base_meta.get("trace_worker")
+        obs = self.runtime.obs
+        if obs is not None and wid is not None:
+            obs.staleness_sample(
+                self.shard_id,
+                wid,
+                self.ctx.now,
+                self._version - self._obs_last_pull.get(wid, 0),
+            )
+            self._obs_last_pull[wid] = self._version
         dgc = self.runtime.dgc_config
         if dgc is None:
             payload = self.params.copy() if self.params is not None else None
@@ -285,8 +298,14 @@ class PSShard(Node):
     # -- serve loop --------------------------------------------------------
     def serve(self) -> Generator[Any, Any, None]:
         """Main shard process: pop requests FIFO, dispatch to handle()."""
+        obs = self.runtime.obs
         while not self.runtime.stopping:
             msg = yield self.recv("req")
+            if obs is not None:
+                # Depth of the request backlog *behind* this message —
+                # the PS ingress queue the paper blames for the
+                # aggregation-wait fractions.
+                obs.ps_inbox_sample(self.shard_id, self.ctx.now, self.pending("req"))
             yield from self.handle(msg)
 
     def handle(self, msg: Message) -> Generator[Any, Any, None]:

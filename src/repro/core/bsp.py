@@ -69,6 +69,10 @@ class BSPShard(PSShard):
             first_arrival: float | None = None
             for _ in range(expected):
                 msg = yield self.recv("req")
+                if rt.obs is not None:
+                    rt.obs.ps_inbox_sample(
+                        self.shard_id, rt.engine.now, self.pending("req")
+                    )
                 if first_arrival is None:
                     first_arrival = rt.engine.now
                 acc = self.accumulate_entry(acc, msg)

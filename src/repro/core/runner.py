@@ -37,6 +37,8 @@ from repro.nn.models import build_model
 from repro.nn.optim import weight_decay_mask
 from repro.nn.schedules import LRSchedule, WarmupStepSchedule
 from repro.nn.zoo import ModelProfile, mini_profile_from_model, resnet50_profile, vgg16_profile
+from repro.obs.config import ObsConfig
+from repro.obs.recorder import RunObserver
 from repro.optimizations.dgc import DGCCompressor, DGCConfig
 from repro.optimizations.sharding import ShardingPlan, make_sharding_plan
 from repro.optimizations.waitfree import CommPlan, CommPlanEntry, make_comm_plan
@@ -187,6 +189,7 @@ class Runtime:
         self.config = config
         self.engine = engine
         self.ctx = ctx
+        self.obs = ctx.observer
         self.cluster = config.cluster
         self.mode = config.mode
         self.profile = profile
@@ -318,6 +321,10 @@ class Runtime:
         """Called by every worker after each training iteration."""
         slot.iterations += 1
         self.sample_clock.on_batch()
+        if self.obs is not None:
+            self.obs.iteration_sample(
+                slot.wid, self.engine.now, self.sample_clock.total_iterations
+            )
         if self._iteration_callback is not None:
             self._iteration_callback(slot)
 
@@ -325,7 +332,13 @@ class Runtime:
 class DistributedRunner:
     """Builds and executes one run."""
 
-    def __init__(self, config: RunConfig, algorithm: "TrainingAlgorithm | None" = None) -> None:
+    def __init__(
+        self,
+        config: RunConfig,
+        algorithm: "TrainingAlgorithm | None" = None,
+        *,
+        obs: ObsConfig | None = None,
+    ) -> None:
         from repro.core.base import make_algorithm  # local import, avoids cycle
 
         self.config = config
@@ -333,15 +346,22 @@ class DistributedRunner:
             config.algorithm, **config.algorithm_params
         )
         self._validate_optimizations()
-        self.engine = Engine()
-        tracer = PhaseTracer(enabled=config.trace)
-        self.network = Network(self.engine, config.cluster)
+        # Observability is an execution-context option, not a RunConfig
+        # field: it never changes the schedule or the results, so it
+        # stays out of the sweep cache's fingerprint.
+        self.observer = RunObserver(obs) if obs is not None and obs.enabled else None
+        self.engine = Engine(observer=self.observer)
+        # An observed run always collects phase spans (they are the
+        # trace's backbone); result objects still honour config.trace.
+        tracer = PhaseTracer(enabled=config.trace or self.observer is not None)
+        self.network = Network(self.engine, config.cluster, observer=self.observer)
         self.ctx = CommContext(
             engine=self.engine,
             network=self.network,
             cluster=config.cluster,
             comm_model=config.comm_model,
             tracer=tracer,
+            observer=self.observer,
         )
         self._eval_model = None
         self._test_data: Dataset | None = None
@@ -413,6 +433,11 @@ class DistributedRunner:
             seed=cfg.seed + 3,
             base_time_override=cfg.compute_time_override,
         )
+        if self.observer is not None:
+            observer, engine = self.observer, self.engine
+            compute_model.on_draw = lambda worker, duration: observer.compute_draw(
+                worker, engine.now, duration
+            )
         schedule = WarmupStepSchedule(
             cfg.base_lr * cfg.num_workers,
             warmup_epochs=cfg.warmup_fraction * cfg.epochs,
@@ -543,6 +568,10 @@ class DistributedRunner:
     # -- execution -------------------------------------------------------------
     def run(self, *, max_events: int = 50_000_000) -> TrainingHistory | ThroughputResult:
         self.engine.run(max_events=max_events)
+        if self.observer is not None:
+            self.observer.finalize(
+                engine=self.engine, network=self.network, tracer=self.ctx.tracer
+            )
         if self.config.mode == "full":
             # Final evaluation at the stop point.
             self._evaluate(self.runtime.sample_clock.epoch())

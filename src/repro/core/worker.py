@@ -221,6 +221,8 @@ def send_gradient_plan(
     if compute_duration is None:
         for entry in entries:
             payload, nbytes = _entry_payload_and_bytes(rt, slot, entry, grad, sparse)
+            if rt.obs is not None:
+                rt.obs.grad_bytes(slot.wid, nbytes)
             shard_node = rt.ps_nodes[entry.shard_id]
             tx = Signal() if block_tx else None
             if tx is not None:
@@ -251,6 +253,8 @@ def send_gradient_plan(
             yield Timeout(ready - elapsed)
             elapsed = ready
         payload, nbytes = _entry_payload_and_bytes(rt, slot, entry, grad, sparse)
+        if rt.obs is not None:
+            rt.obs.grad_bytes(slot.wid, nbytes)
         shard_node = rt.ps_nodes[entry.shard_id]
         tx = Signal() if block_tx else None
         if tx is not None:

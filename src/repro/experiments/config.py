@@ -36,6 +36,7 @@ __all__ = [
     "mini_accuracy_config",
     "mini_dgc_config",
     "timing_config",
+    "representative_config",
 ]
 
 # The authors' recommended settings used in Table II / Fig 1 (§VI-A).
@@ -214,3 +215,57 @@ def timing_config(
     )
     defaults.update(overrides)
     return RunConfig(**defaults)
+
+
+# One representative run per experiment — the config ``repro trace``
+# (and ``repro run --trace-out``) instruments. Timing experiments pick
+# their largest default scale; accuracy experiments pick the headline
+# algorithm of the table.
+_REPRESENTATIVE = {
+    "table2": ("accuracy", "bsp"),
+    "fig1": ("accuracy", "bsp"),
+    "table3": ("accuracy", "ssp"),
+    "table4": ("accuracy", "asp"),
+    "fig2": ("timing", "bsp"),
+    "fig3": ("timing", "bsp"),
+    "fig4": ("timing", "asp"),
+}
+
+
+def representative_config(
+    experiment: str,
+    *,
+    workers: int | None = None,
+    iters: int | None = None,
+    epochs: float | None = None,
+    model: str = "resnet50",
+    bandwidth_gbps: float = 10.0,
+    seed: int = 0,
+) -> RunConfig:
+    """One representative :class:`RunConfig` for a paper experiment.
+
+    Used by trace export: rather than tracing a whole sweep, the CLI
+    re-runs this single run with observability enabled. Raises
+    ``ValueError`` for experiments with no simulator runs (table1).
+    """
+    if experiment not in _REPRESENTATIVE:
+        raise ValueError(
+            f"no representative run for {experiment!r}; "
+            f"choose from {sorted(_REPRESENTATIVE)}"
+        )
+    kind, algorithm = _REPRESENTATIVE[experiment]
+    if kind == "timing":
+        return timing_config(
+            algorithm,
+            num_workers=workers if workers is not None else (8 if experiment == "fig2" else 24),
+            bandwidth_gbps=bandwidth_gbps,
+            model=model,
+            measure_iters=iters if iters is not None else 15,
+            seed=seed,
+        )
+    return mini_accuracy_config(
+        algorithm,
+        num_workers=workers if workers is not None else 8,
+        epochs=epochs if epochs is not None else 2.0,
+        seed=seed,
+    )

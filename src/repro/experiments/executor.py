@@ -30,10 +30,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -145,6 +146,11 @@ def _execute_payload(config: RunConfig) -> dict:
     return _result_to_payload(execute_run(config))
 
 
+def _describe(config: RunConfig) -> str:
+    """Short human-readable run label for progress lines."""
+    return f"{config.algorithm}/{config.mode} w={config.num_workers}"
+
+
 # -- on-disk cache ------------------------------------------------------
 
 
@@ -217,6 +223,34 @@ class SweepStats:
     cache_hits: int = 0  # unique fingerprints served from cache
     executed: int = 0  # simulator runs performed
     jobs: int = 1  # pool width used for the misses
+    wall_time: float = 0.0  # wall-clock seconds the map() call took
+
+    def merge(self, other: "SweepStats") -> None:
+        """Accumulate another sweep's stats (pool width: the widest)."""
+        self.total += other.total
+        self.unique += other.unique
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.wall_time += other.wall_time
+        self.jobs = max(self.jobs, other.jobs)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "jobs": self.jobs,
+            "wall_time": self.wall_time,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable form for CLI output."""
+        return (
+            f"{self.total} run(s): {self.cache_hits} cached, "
+            f"{self.executed} executed (jobs={self.jobs}, "
+            f"{self.wall_time:.1f}s)"
+        )
 
 
 class SweepExecutor:
@@ -232,6 +266,10 @@ class SweepExecutor:
     cache_dir:
         Cache location (default ``$REPRO_CACHE_DIR`` or
         ``~/.cache/repro``).
+    progress:
+        Optional ``callable(str)`` invoked with one telemetry line at
+        sweep start and after each executed run (the CLI points this
+        at stderr). Purely informational — never affects results.
     """
 
     def __init__(
@@ -240,12 +278,21 @@ class SweepExecutor:
         jobs: int | None = None,
         cache: bool = True,
         cache_dir: str | Path | None = None,
+        progress: Callable[[str], None] | None = None,
     ) -> None:
         if jobs is not None and jobs <= 0:
             raise ValueError("jobs must be positive")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = RunCache(cache_dir) if cache else None
+        self.progress = progress
         self.last_stats = SweepStats()
+        # Accumulated over every map() call on this executor — what one
+        # CLI invocation's sweeps did in total.
+        self.total_stats = SweepStats(jobs=self.jobs)
+
+    def _emit(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
 
     def map(
         self, configs: Sequence[RunConfig]
@@ -256,6 +303,7 @@ class SweepExecutor:
         ``configs[i]`` no matter which worker finished first, so sweep
         outputs are bit-identical to serial execution.
         """
+        t0 = time.perf_counter()
         configs = list(configs)
         prints = [config_fingerprint(cfg) for cfg in configs]
         stats = SweepStats(total=len(configs), jobs=self.jobs)
@@ -276,9 +324,22 @@ class SweepExecutor:
 
         todo = [(fp, cfg) for fp, cfg in representative.items() if fp not in payloads]
         stats.executed = len(todo)
+        if configs:
+            self._emit(
+                f"sweep: {stats.total} run(s), {stats.unique} unique, "
+                f"{stats.cache_hits} cached, {len(todo)} to execute "
+                f"(jobs={self.jobs})"
+            )
         if todo:
             if self.jobs == 1 or len(todo) == 1:
-                fresh = [_execute_payload(cfg) for _, cfg in todo]
+                fresh = []
+                for i, (fp, cfg) in enumerate(todo):
+                    t_run = time.perf_counter()
+                    fresh.append(_execute_payload(cfg))
+                    self._emit(
+                        f"  [{i + 1}/{len(todo)}] {_describe(cfg)} "
+                        f"done in {time.perf_counter() - t_run:.1f}s"
+                    )
             else:
                 # The pool is created only on a miss: warm-cache sweeps
                 # never spawn workers.
@@ -286,13 +347,21 @@ class SweepExecutor:
                     max_workers=min(self.jobs, len(todo))
                 ) as pool:
                     futures = [pool.submit(_execute_payload, cfg) for _, cfg in todo]
-                    fresh = [future.result() for future in futures]
+                    fresh = []
+                    for i, ((fp, cfg), future) in enumerate(zip(todo, futures)):
+                        fresh.append(future.result())
+                        self._emit(
+                            f"  [{i + 1}/{len(todo)}] {_describe(cfg)} "
+                            f"done at +{time.perf_counter() - t0:.1f}s"
+                        )
             for (fp, _), payload in zip(todo, fresh):
                 payloads[fp] = payload
                 if self.cache is not None:
                     self.cache.put(fp, payload)
 
+        stats.wall_time = time.perf_counter() - t0
         self.last_stats = stats
+        self.total_stats.merge(stats)
         # Materialise one result object per submitted config (identical
         # configs share a payload but never an object).
         return [

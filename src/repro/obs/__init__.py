@@ -1,0 +1,46 @@
+"""Run-level observability: metrics, event recording, trace export.
+
+The simulator's result objects compress a whole run down to a handful
+of aggregates (five phase totals, final byte counts). This package
+keeps the rest — the per-event timeline that makes bottleneck
+attribution credible:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  virtual-time series (event-queue depth, PS inbox depth, per-link
+  bytes and busy time, per-worker staleness, straggler-jitter draws,
+  iteration timestamps);
+* :class:`~repro.obs.recorder.RunObserver` — the structured run-event
+  recorder the instrumented stack reports into (comm messages, engine
+  process lifetimes, metric samples);
+* :mod:`repro.obs.perfetto` — export of one observed run as
+  Chrome/Perfetto trace-event JSON (``repro trace``, ``--trace-out``).
+
+Everything is opt-in: the stack holds an observer reference that is
+``None`` by default, so an un-observed run executes exactly the seed
+code path (same event schedule, same results, same cache
+fingerprints). Enable with::
+
+    from repro.core.runner import DistributedRunner
+    from repro.obs import ObsConfig
+    runner = DistributedRunner(config, obs=ObsConfig(enabled=True))
+    result = runner.run()
+    runner.observer.registry.snapshot()
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Series
+from repro.obs.perfetto import build_trace, write_trace
+from repro.obs.recorder import MessageEvent, ProcessSpan, RunObserver
+
+__all__ = [
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Series",
+    "MetricsRegistry",
+    "MessageEvent",
+    "ProcessSpan",
+    "RunObserver",
+    "build_trace",
+    "write_trace",
+]

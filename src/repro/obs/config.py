@@ -1,0 +1,46 @@
+"""Observability configuration.
+
+``ObsConfig`` is an *execution-context* option, deliberately not a
+:class:`~repro.core.runner.RunConfig` field: observability never
+changes what a run computes, so it must not participate in the sweep
+executor's content-addressed cache key. Runs observed and unobserved
+fingerprint — and simulate — identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the :class:`~repro.obs.recorder.RunObserver` records.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch. ``False`` (the default) means no observer is
+        attached at all — the stack's hooks see ``None`` and the run
+        is byte-identical to an uninstrumented one.
+    metrics:
+        Record counters, gauges, and virtual-time series.
+    trace_events:
+        Record comm-message events and engine process lifetimes (the
+        inputs of the Perfetto exporter beyond phase spans).
+    queue_sample_every:
+        Sample the engine's event-queue depth every N processed
+        events. Depth changes event-by-event; a stride keeps the
+        series (and the exported trace) bounded on multi-million-event
+        runs.
+    """
+
+    enabled: bool = False
+    metrics: bool = True
+    trace_events: bool = True
+    queue_sample_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.queue_sample_every <= 0:
+            raise ValueError("queue_sample_every must be positive")

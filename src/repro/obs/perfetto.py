@@ -1,0 +1,189 @@
+"""Chrome/Perfetto trace-event export of one observed run.
+
+Produces the JSON object format of the Trace Event spec — loadable in
+``https://ui.perfetto.dev`` or ``chrome://tracing`` — from a run's
+:class:`~repro.sim.trace.PhaseTracer` spans and
+:class:`~repro.obs.recorder.RunObserver` state.
+
+Track layout (``pid`` = process lane, ``tid`` = thread lane):
+
+* pids ``0..M-1`` — the cluster's machines; each worker's phase spans
+  (``compute``/``local_agg``/``global_agg``/``comm``) are complete
+  (``ph: "X"``) events on its own ``tid`` within its machine.
+* pid ``M`` — the parameter-server lane (spans traced with worker
+  ``-1``, i.e. BSP's ``agg_wait``).
+* pid ``M+1`` — the network: one ``X`` event per delivered message,
+  on the sending machine's ``tid``.
+* pid ``M+2`` — metrics: every registry series as a counter track
+  (``ph: "C"``), plus engine process lifetimes as ``X`` events.
+
+Timestamps are virtual seconds scaled to microseconds (the spec's
+unit), and all events are emitted in non-decreasing ``ts`` order. The
+per-phase sum of span durations in the exported file equals
+``PhaseTracer.breakdown()`` exactly (same spans, same arithmetic) up
+to the microsecond scaling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunObserver
+    from repro.sim.cluster import ClusterSpec
+    from repro.sim.trace import PhaseTracer
+
+__all__ = ["build_trace", "write_trace", "phase_totals"]
+
+_US = 1e6  # seconds -> trace-event microseconds
+
+
+def _worker_lane(worker: int, cluster: "ClusterSpec | None", machines: int) -> tuple[int, int]:
+    """(pid, tid) of a phase span's worker (-1 = the PS lane)."""
+    if worker < 0:
+        return machines, 0
+    if cluster is not None and worker < cluster.total_gpus:
+        return cluster.machine_of_worker(worker), worker
+    return 0, worker
+
+
+def build_trace(
+    *,
+    tracer: "PhaseTracer | None" = None,
+    observer: "RunObserver | None" = None,
+    cluster: "ClusterSpec | None" = None,
+    label: str = "repro run",
+) -> dict:
+    """Assemble the trace-event JSON object for one run."""
+    machines = cluster.machines if cluster is not None else 1
+    ps_pid, net_pid, metrics_pid = machines, machines + 1, machines + 2
+
+    meta: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
+
+    def process_name(pid: int, name: str) -> None:
+        meta.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+
+    def thread_name(pid: int, tid: int, name: str) -> None:
+        meta.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+
+    for m in range(machines):
+        process_name(m, f"machine{m}")
+    process_name(ps_pid, "parameter servers")
+    process_name(net_pid, "network")
+    process_name(metrics_pid, "metrics")
+
+    named_threads: set[tuple[int, int]] = set()
+
+    if tracer is not None:
+        for span in tracer.spans:
+            pid, tid = _worker_lane(span.worker, cluster, machines)
+            if (pid, tid) not in named_threads:
+                named_threads.add((pid, tid))
+                thread_name(
+                    pid, tid, "ps" if span.worker < 0 else f"w{span.worker}"
+                )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.phase,
+                    "cat": "phase",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": span.start * _US,
+                    "dur": span.duration * _US,
+                }
+            )
+
+    if observer is not None:
+        for msg in observer.messages:
+            if (net_pid, msg.src_machine) not in named_threads:
+                named_threads.add((net_pid, msg.src_machine))
+                thread_name(net_pid, msg.src_machine, f"from m{msg.src_machine}")
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"{msg.kind} {msg.nbytes}B",
+                    "cat": "comm",
+                    "pid": net_pid,
+                    "tid": msg.src_machine,
+                    "ts": msg.t_send * _US,
+                    "dur": (msg.t_recv - msg.t_send) * _US,
+                    "args": {
+                        "nbytes": msg.nbytes,
+                        "dst_machine": msg.dst_machine,
+                    },
+                }
+            )
+        for proc in observer.processes:
+            if proc.end is None:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "name": proc.name,
+                    "cat": "process",
+                    "pid": metrics_pid,
+                    "tid": 1,
+                    "ts": proc.start * _US,
+                    "dur": (proc.end - proc.start) * _US,
+                }
+            )
+        if (metrics_pid, 1) not in named_threads and observer.processes:
+            named_threads.add((metrics_pid, 1))
+            thread_name(metrics_pid, 1, "engine processes")
+        for name, series in sorted(observer.registry.all_series().items()):
+            for t, v in zip(series.times, series.values):
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "cat": "metric",
+                        "pid": metrics_pid,
+                        "tid": 0,
+                        "ts": t * _US,
+                        "args": {"value": v},
+                    }
+                )
+
+    events.sort(key=lambda e: e["ts"])  # stable: ties keep build order
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "clock": "virtual seconds x 1e6"},
+    }
+
+
+def phase_totals(trace: dict) -> dict[str, float]:
+    """Per-phase span-duration totals of a built trace, in *seconds* —
+    the quantity that must agree with ``PhaseTracer.breakdown()``."""
+    totals: dict[str, float] = {}
+    for event in trace["traceEvents"]:
+        if event.get("ph") == "X" and event.get("cat") == "phase":
+            totals[event["name"]] = totals.get(event["name"], 0.0) + event["dur"] / _US
+    return totals
+
+
+def write_trace(
+    path: str | Path,
+    *,
+    tracer: "PhaseTracer | None" = None,
+    observer: "RunObserver | None" = None,
+    cluster: "ClusterSpec | None" = None,
+    label: str = "repro run",
+) -> Path:
+    """Build and write the trace; returns the written path."""
+    trace = build_trace(tracer=tracer, observer=observer, cluster=cluster, label=label)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace) + "\n")
+    return path

@@ -1,0 +1,198 @@
+"""The structured run-event recorder.
+
+One :class:`RunObserver` is attached per observed run (the
+:class:`~repro.core.runner.DistributedRunner` creates it from an
+:class:`~repro.obs.config.ObsConfig` and threads it through the
+engine, the network, the comm context, and the runtime). Instrumented
+code holds a plain ``observer-or-None`` reference and guards each hook
+with ``if obs is not None`` — when observability is off there is no
+observer object anywhere and the hot paths run the seed instructions.
+
+The observer collects three things:
+
+* **metrics** — counters/gauges/virtual-time series in ``registry``;
+* **comm messages** — one :class:`MessageEvent` per delivered message;
+* **process lifetimes** — one :class:`ProcessSpan` per engine process.
+
+Everything is virtual-time-stamped and feeds
+:func:`repro.obs.perfetto.build_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine, Process
+    from repro.sim.network import Network, Port
+    from repro.sim.trace import PhaseTracer
+
+__all__ = ["MessageEvent", "ProcessSpan", "RunObserver"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One delivered message: endpoints, wire size, send/recv times."""
+
+    src_machine: int
+    dst_machine: int
+    kind: str
+    nbytes: int
+    t_send: float
+    t_recv: float
+
+
+@dataclass
+class ProcessSpan:
+    """Lifetime of one engine process (``end`` is None while alive)."""
+
+    name: str
+    start: float
+    end: float | None = None
+
+
+class RunObserver:
+    """Collects every observable signal of one simulated run."""
+
+    def __init__(self, config: ObsConfig | None = None) -> None:
+        self.config = config or ObsConfig(enabled=True)
+        self.registry = MetricsRegistry()
+        self.messages: list[MessageEvent] = []
+        self.processes: list[ProcessSpan] = []
+        self._live_processes: dict[int, ProcessSpan] = {}
+        self._metrics = self.config.metrics
+        self._events = self.config.trace_events
+
+    # -- engine ---------------------------------------------------------
+    def process_started(self, process: "Process", now: float) -> None:
+        if not self._events:
+            return
+        span = ProcessSpan(name=process.name, start=now)
+        self.processes.append(span)
+        self._live_processes[id(process)] = span
+
+    def process_finished(self, process: "Process", now: float) -> None:
+        if not self._events:
+            return
+        span = self._live_processes.pop(id(process), None)
+        if span is not None:
+            span.end = now
+
+    def queue_depth_series(self):
+        """The engine's cached handle for event-queue depth samples
+        (None when metrics are off, so the engine skips sampling)."""
+        if not self._metrics:
+            return None
+        return self.registry.series("engine.queue_depth")
+
+    # -- network --------------------------------------------------------
+    def link_sample(self, port: "Port", now: float) -> None:
+        """Per-link cumulative bytes and busy time, one sample per
+        reservation on that port."""
+        if not self._metrics:
+            return
+        self.registry.series(f"net.{port.name}.bytes").observe(
+            now, float(port.bytes_served)
+        )
+        self.registry.series(f"net.{port.name}.busy_time").observe(
+            now, port.busy_time
+        )
+
+    def on_message(
+        self,
+        *,
+        src_machine: int,
+        dst_machine: int,
+        kind: str,
+        nbytes: int,
+        t_send: float,
+        t_recv: float,
+    ) -> None:
+        if self._metrics:
+            self.registry.counter("comm.messages").inc()
+            self.registry.counter("comm.bytes").inc(nbytes)
+        if self._events:
+            self.messages.append(
+                MessageEvent(
+                    src_machine=src_machine,
+                    dst_machine=dst_machine,
+                    kind=kind,
+                    nbytes=nbytes,
+                    t_send=t_send,
+                    t_recv=t_recv,
+                )
+            )
+
+    # -- parameter server -----------------------------------------------
+    def ps_inbox_sample(self, shard_id: int, now: float, depth: int) -> None:
+        if self._metrics:
+            self.registry.series(f"ps{shard_id}.inbox_depth").observe(
+                now, float(depth)
+            )
+
+    def staleness_sample(
+        self, shard_id: int, worker: int, now: float, staleness: int
+    ) -> None:
+        """Updates applied to a shard between one worker's consecutive
+        parameter pulls — the observed staleness of that pull."""
+        if self._metrics:
+            self.registry.series(f"ps{shard_id}.staleness.w{worker}").observe(
+                now, float(staleness)
+            )
+
+    # -- workers ---------------------------------------------------------
+    def compute_draw(self, worker: int, now: float, duration: float) -> None:
+        """One straggler-jitter draw: the sampled compute duration."""
+        if self._metrics:
+            self.registry.series(f"w{worker}.compute_time").observe(now, duration)
+
+    def grad_bytes(self, worker: int, nbytes: int) -> None:
+        if self._metrics:
+            self.registry.counter(f"w{worker}.grad_bytes").inc(nbytes)
+
+    def iteration_sample(self, worker: int, now: float, total_iterations: int) -> None:
+        if self._metrics:
+            self.registry.series("progress.iterations").observe(
+                now, float(total_iterations)
+            )
+            self.registry.counter(f"w{worker}.iterations").inc()
+
+    # -- end of run -------------------------------------------------------
+    def finalize(
+        self,
+        *,
+        engine: "Engine | None" = None,
+        network: "Network | None" = None,
+        tracer: "PhaseTracer | None" = None,
+    ) -> None:
+        """Record the end-of-run aggregates (final port utilisation,
+        engine totals, span counts) as counters/gauges, and close any
+        process spans still alive when the event queue drained."""
+        if self._events and engine is not None:
+            for span in self._live_processes.values():
+                span.end = engine.now
+            self._live_processes.clear()
+        if not self._metrics:
+            return
+        if engine is not None:
+            self.registry.counter("engine.events_processed").inc(
+                engine.events_processed
+            )
+            self.registry.gauge("engine.queue_high_water").set(
+                engine.queue_high_water
+            )
+            self.registry.gauge("engine.final_time").set(engine.now)
+        if network is not None:
+            self.registry.counter("net.total_bytes").inc(network.total_bytes)
+            self.registry.counter("net.total_messages").inc(network.total_messages)
+            horizon = max(network.engine.now, 1e-12)
+            for port in [*network.tx, *network.rx, *network.intra]:
+                self.registry.gauge(f"net.{port.name}.utilization").set(
+                    port.utilization(horizon)
+                )
+        if tracer is not None:
+            self.registry.counter("trace.spans").inc(len(tracer.spans))

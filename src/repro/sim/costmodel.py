@@ -110,6 +110,11 @@ class ComputeModel:
         # Persistent speeds uniform in [1 - spread, 1]: worker ranks keep
         # stable fast/slow identities across the whole run.
         self.speeds = 1.0 - self._rng.uniform(0.0, speed_spread, size=num_workers)
+        # Observability hook: called as on_draw(worker, duration) for
+        # every sampled iteration time. The runner installs it so every
+        # draw site (workers, BSP leaders/peers) is captured without
+        # instrumenting each algorithm. None = off.
+        self.on_draw = None
         # ``base_time_override`` decouples the virtual compute time from
         # the profile's FLOP count — full-mode runs use it to give the
         # tiny trainable models the compute/communication time *ratio*
@@ -128,7 +133,10 @@ class ComputeModel:
         jitter = 1.0
         if self.jitter_sigma > 0:
             jitter = float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
-        return self.base_time / self.speeds[worker] * jitter
+        duration = self.base_time / self.speeds[worker] * jitter
+        if self.on_draw is not None:
+            self.on_draw(worker, duration)
+        return duration
 
     def mean_iteration_time(self, worker: int) -> float:
         """Expected compute duration (no jitter draw) for ``worker``."""

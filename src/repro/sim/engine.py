@@ -24,9 +24,12 @@ free, and only ~250 lines — small enough to property-test exhaustively.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from repro.sim.events import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunObserver
 
 __all__ = [
     "Engine",
@@ -222,6 +225,8 @@ class Process:
             target = self._gen.send(value)
         except StopIteration as stop:
             self.alive = False
+            if self._engine._observer is not None:
+                self._engine._observer.process_finished(self, self._engine.now)
             self.done.trigger(stop.value, engine=self._engine)
             return
         except BaseException as exc:
@@ -250,12 +255,20 @@ class Engine:
     (algorithms call ``stop()`` when the training target is met).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, observer: "RunObserver | None" = None) -> None:
         self.now = 0.0
         self._queue = EventQueue()
         self._stopped = False
         self._events_processed = 0
         self._errors: list[tuple[Process, BaseException]] = []
+        # Observability is opt-in: with no observer these stay None and
+        # the run loop takes the exact uninstrumented path.
+        self._observer = observer
+        self._depth_series = None
+        self._depth_stride = 0
+        if observer is not None:
+            self._depth_series = observer.queue_depth_series()
+            self._depth_stride = observer.config.queue_sample_every
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
@@ -266,6 +279,8 @@ class Engine:
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a new process; it first runs at the current time."""
         process = Process(self, gen, name)
+        if self._observer is not None:
+            self._observer.process_started(process, self.now)
         self._schedule(0.0, lambda: process._resume(None))
         return process
 
@@ -302,6 +317,11 @@ class Engine:
             self.now = event.time
             event.callback()
             self._events_processed += 1
+            if (
+                self._depth_series is not None
+                and self._events_processed % self._depth_stride == 0
+            ):
+                self._depth_series.observe(self.now, float(len(self._queue)))
             if self._events_processed >= max_events:
                 raise RuntimeError(f"exceeded max_events={max_events}; likely a livelock")
         if self._errors:
@@ -312,3 +332,8 @@ class Engine:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def queue_high_water(self) -> int:
+        """Peak number of simultaneously pending events."""
+        return self._queue.high_water

@@ -42,13 +42,15 @@ class EventQueue:
 
     The number of *live* (non-cancelled) events is tracked on
     push/pop/cancel, so ``len(queue)`` is O(1) instead of a scan of
-    the whole heap.
+    the whole heap. ``high_water`` is the maximum live depth ever
+    reached — the backlog peak observability reports.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self.high_water = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         if time != time:  # NaN guard
@@ -57,6 +59,8 @@ class EventQueue:
         event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self._live > self.high_water:
+            self.high_water = self._live
         return event
 
     def pop(self) -> Event | None:

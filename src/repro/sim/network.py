@@ -21,8 +21,13 @@ finding that ASP/SSP scale *worse than BSP* on 10 Gbps (§VI-C).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.sim.cluster import ClusterSpec
 from repro.sim.engine import Engine, Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunObserver
 
 __all__ = ["Port", "Network"]
 
@@ -77,7 +82,13 @@ class Port:
 class Network:
     """All ports of a cluster plus the transfer state machine."""
 
-    def __init__(self, engine: Engine, spec: ClusterSpec) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        spec: ClusterSpec,
+        *,
+        observer: "RunObserver | None" = None,
+    ) -> None:
         self.engine = engine
         self.spec = spec
         rate = spec.network_bytes_per_s
@@ -87,6 +98,7 @@ class Network:
         self.intra = [Port(f"m{i}.bus", intra_rate) for i in range(spec.machines)]
         self.total_bytes = 0
         self.total_messages = 0
+        self._observer = observer
 
     def transfer(
         self,
@@ -117,6 +129,8 @@ class Network:
         if src_machine == dst_machine:
             bus = self.intra[src_machine]
             _, end = bus.reserve(engine.now, nbytes)
+            if self._observer is not None:
+                self._observer.link_sample(bus, engine.now)
             delivery = end + self.spec.machine.intra_latency_s
             if tx_done is not None:
                 engine._schedule(end - engine.now, lambda: tx_done.trigger(engine=engine))
@@ -126,12 +140,16 @@ class Network:
         tx = self.tx[src_machine]
         rx = self.rx[dst_machine]
         start_tx, end_tx = tx.reserve(engine.now, nbytes)
+        if self._observer is not None:
+            self._observer.link_sample(tx, engine.now)
         if tx_done is not None:
             engine._schedule(end_tx - engine.now, lambda: tx_done.trigger(engine=engine))
         first_bit_arrival = start_tx + self.spec.network_latency_s
 
         def on_arrival() -> None:
             _, end_rx = rx.reserve(engine.now, nbytes)
+            if self._observer is not None:
+                self._observer.link_sample(rx, engine.now)
             engine._schedule(end_rx - engine.now, lambda: done.trigger(engine=engine))
 
         engine._schedule(first_bit_arrival - engine.now, on_arrival)

@@ -46,9 +46,17 @@ class PhaseTracer:
         self.spans: list[Span] = []
         self._open: dict[tuple[int, str], float] = {}
 
+    @staticmethod
+    def _check_phase(phase: str) -> None:
+        # A typo'd phase would silently skew the Fig 3 fractions (it
+        # lands in the breakdown but not the canonical denominators).
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+
     def begin(self, worker: int, phase: str, now: float) -> None:
         if not self.enabled:
             return
+        self._check_phase(phase)
         key = (worker, phase)
         if key in self._open:
             raise RuntimeError(f"span {key} already open")
@@ -57,6 +65,7 @@ class PhaseTracer:
     def end(self, worker: int, phase: str, now: float) -> None:
         if not self.enabled:
             return
+        self._check_phase(phase)
         key = (worker, phase)
         start = self._open.pop(key, None)
         if start is None:
@@ -70,6 +79,7 @@ class PhaseTracer:
         whose boundaries are known analytically)."""
         if not self.enabled:
             return
+        self._check_phase(phase)
         if end < start:
             raise RuntimeError("span ends before it starts")
         self.spans.append(Span(worker=worker, phase=phase, start=start, end=end))

@@ -244,3 +244,62 @@ def test_runconfig_is_picklable_for_pools():
     clone = pickle.loads(pickle.dumps(cfg))
     assert isinstance(clone, RunConfig)
     assert config_fingerprint(clone) == config_fingerprint(cfg)
+
+
+class TestSweepTelemetry:
+    def test_stats_wall_time_and_summary(self, tmp_path):
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.map([tiny_timing()])
+        stats = ex.last_stats
+        assert stats.executed == 1
+        assert stats.wall_time > 0
+        line = stats.summary()
+        assert "1 run(s)" in line and "executed" in line
+
+    def test_stats_to_dict_round_trips_json(self, tmp_path):
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.map([tiny_timing()])
+        d = json.loads(json.dumps(ex.last_stats.to_dict()))
+        assert d["total"] == 1 and d["executed"] == 1
+        assert set(d) == {"total", "unique", "cache_hits", "executed", "jobs", "wall_time"}
+
+    def test_total_stats_accumulate_across_sweeps(self, tmp_path):
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.map([tiny_timing()])
+        ex.map([tiny_timing()])  # warm: served from cache
+        assert ex.total_stats.total == 2
+        assert ex.total_stats.executed == 1
+        assert ex.total_stats.cache_hits == 1
+        assert ex.total_stats.wall_time >= ex.last_stats.wall_time
+
+    def test_progress_lines_emitted(self, tmp_path):
+        lines = []
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path, progress=lines.append)
+        ex.map([tiny_timing(), tiny_timing("ad-psgd", 2)])
+        assert any(line.startswith("sweep:") for line in lines)
+        per_run = [line for line in lines if "done" in line]
+        assert len(per_run) == 2
+        assert any("bsp/timing" in line for line in per_run)
+
+    def test_progress_silent_on_warm_cache_runs(self, tmp_path):
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.map([tiny_timing()])
+        lines = []
+        ex.progress = lines.append
+        ex.map([tiny_timing()])
+        assert len(lines) == 1  # the sweep header only; nothing executed
+        assert "0 to execute" in lines[0]
+
+    def test_progress_never_affects_results(self, tmp_path):
+        grid = tiny_grid()
+        quiet = SweepExecutor(jobs=1, cache=False).map(grid)
+        chatty = SweepExecutor(
+            jobs=1, cache=False, progress=lambda line: None
+        ).map(grid)
+        assert stable(quiet) == stable(chatty)
+
+    def test_empty_sweep_emits_nothing(self, tmp_path):
+        lines = []
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path, progress=lines.append)
+        assert ex.map([]) == []
+        assert lines == []

@@ -1,0 +1,128 @@
+"""Perfetto trace export: JSON validity, ordering, and span accounting."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.obs import ObsConfig, build_trace, write_trace
+from repro.obs.perfetto import phase_totals
+from repro.sim.trace import PHASES
+
+from tests.conftest import small_timing_config
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    cfg = small_timing_config("bsp", trace=True)
+    runner = DistributedRunner(cfg, obs=ObsConfig(enabled=True))
+    runner.run()
+    return cfg, runner
+
+
+@pytest.fixture(scope="module")
+def trace(observed_run):
+    cfg, runner = observed_run
+    return build_trace(
+        tracer=runner.ctx.tracer,
+        observer=runner.observer,
+        cluster=cfg.cluster,
+        label="test run",
+    )
+
+
+class TestTraceStructure:
+    def test_round_trips_through_json(self, trace):
+        again = json.loads(json.dumps(trace))
+        assert again == trace
+        assert again["displayTimeUnit"] == "ms"
+        assert again["otherData"]["label"] == "test run"
+
+    def test_only_spec_phases(self, trace):
+        for event in trace["traceEvents"]:
+            assert event["ph"] in ("M", "X", "C")
+
+    def test_timestamps_monotone_nondecreasing(self, trace):
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert ts, "expected timed events"
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+        assert all(t >= 0 for t in ts)
+
+    def test_span_durations_nonnegative(self, trace):
+        for event in trace["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_metadata_names_every_machine(self, observed_run, trace):
+        cfg, _ = observed_run
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        for m in range(cfg.cluster.machines):
+            assert f"machine{m}" in names
+        assert {"parameter servers", "network", "metrics"} <= names
+
+
+class TestSpanAccounting:
+    def test_phase_span_count_matches_tracer(self, observed_run, trace):
+        _, runner = observed_run
+        spans = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "phase"
+        ]
+        assert len(spans) == len(runner.ctx.tracer.spans)
+
+    def test_phase_totals_match_breakdown(self, observed_run, trace):
+        _, runner = observed_run
+        totals = phase_totals(trace)
+        breakdown = runner.ctx.tracer.breakdown()
+        assert totals  # a BSP run traces at least compute spans
+        for phase in PHASES:
+            assert totals.get(phase, 0.0) == pytest.approx(
+                breakdown[phase], rel=1e-9, abs=1e-12
+            )
+
+    def test_comm_span_count_matches_messages(self, observed_run, trace):
+        _, runner = observed_run
+        comm = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "comm"
+        ]
+        assert len(comm) == len(runner.observer.messages)
+        assert comm, "a PS run sends messages"
+
+    def test_counter_samples_match_registry(self, observed_run, trace):
+        _, runner = observed_run
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        expected = sum(
+            len(s) for s in runner.observer.registry.all_series().values()
+        )
+        assert len(counters) == expected
+        assert counters, "instrumented runs sample series"
+        for event in counters:
+            assert math.isfinite(event["args"]["value"])
+
+
+class TestWriteTrace:
+    def test_write_and_reload(self, observed_run, tmp_path):
+        cfg, runner = observed_run
+        path = write_trace(
+            tmp_path / "sub" / "trace.json",
+            tracer=runner.ctx.tracer,
+            observer=runner.observer,
+            cluster=cfg.cluster,
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert phase_totals(loaded) == pytest.approx(
+            phase_totals(
+                build_trace(
+                    tracer=runner.ctx.tracer,
+                    observer=runner.observer,
+                    cluster=cfg.cluster,
+                )
+            )
+        )

@@ -1,0 +1,66 @@
+"""Observability must be invisible when off — and side-effect-free when on.
+
+Two guarantees protect the seed results:
+
+* **fingerprint stability** — ``ObsConfig`` lives outside
+  :class:`~repro.core.runner.RunConfig`, so enabling observability can
+  never change a run's content address. The pinned digests below are
+  the seed values; if either changes, cached sweeps are invalidated
+  and this PR broke the contract.
+* **result identity** — an instrumented run must produce bit-identical
+  histories/timings to the uninstrumented path (observation only,
+  never perturbation).
+"""
+
+from dataclasses import fields
+
+from repro.core.runner import DistributedRunner, RunConfig, execute_run
+from repro.experiments.config import mini_accuracy_config, timing_config
+from repro.experiments.executor import config_fingerprint
+from repro.obs import ObsConfig
+
+from tests.conftest import small_full_config, small_timing_config
+
+# Seed fingerprints pinned before the observability layer existed.
+PINNED = {
+    "timing": (
+        lambda: timing_config(
+            "bsp", num_workers=4, bandwidth_gbps=10.0, measure_iters=5
+        ),
+        "10622258f562719a54592269510312fb5b085f908a653e16c67a3f53438a5288",
+    ),
+    "accuracy": (
+        lambda: mini_accuracy_config("asp", num_workers=4, epochs=2.0),
+        "54129b05a069b43896c86d64ef5dc686d8d44a08816afe0cf6cd7ea1568acb31",
+    ),
+}
+
+
+class TestFingerprintStability:
+    def test_run_config_has_no_obs_field(self):
+        names = {f.name for f in fields(RunConfig)}
+        assert not any("obs" in name for name in names)
+
+    def test_pinned_seed_fingerprints(self):
+        for make, expected in PINNED.values():
+            assert config_fingerprint(make()) == expected
+
+
+class TestResultIdentity:
+    def test_observer_absent_unless_enabled(self):
+        cfg = small_timing_config("bsp")
+        assert DistributedRunner(cfg).observer is None
+        assert DistributedRunner(cfg, obs=ObsConfig(enabled=False)).observer is None
+        assert DistributedRunner(cfg, obs=ObsConfig(enabled=True)).observer is not None
+
+    def test_timing_run_identical_with_obs_on(self):
+        cfg = small_timing_config("bsp")
+        plain = execute_run(cfg).to_dict()
+        observed = DistributedRunner(cfg, obs=ObsConfig(enabled=True)).run().to_dict()
+        assert observed == plain
+
+    def test_full_run_identical_with_obs_on(self):
+        cfg = small_full_config("asp")
+        plain = execute_run(cfg).to_dict()
+        observed = DistributedRunner(cfg, obs=ObsConfig(enabled=True)).run().to_dict()
+        assert observed == plain

@@ -65,3 +65,29 @@ class TestPhaseTracer:
         t.record(0, "comm", 0.0, 1.0)
         assert t.spans == []
         assert t.fractions() == {p: 0.0 for p in ("compute", "local_agg", "global_agg", "comm")}
+
+
+class TestPhaseValidation:
+    def test_begin_unknown_phase_raises(self):
+        t = PhaseTracer()
+        with pytest.raises(ValueError, match="unknown phase"):
+            t.begin(0, "computee", 0.0)
+
+    def test_end_unknown_phase_raises(self):
+        t = PhaseTracer()
+        with pytest.raises(ValueError, match="unknown phase"):
+            t.end(0, "warmup", 1.0)
+
+    def test_record_unknown_phase_raises(self):
+        t = PhaseTracer()
+        with pytest.raises(ValueError, match="unknown phase"):
+            t.record(0, "io", 0.0, 1.0)
+
+    def test_disabled_tracer_skips_validation_with_spans(self):
+        # Disabled tracers drop spans before validating: the hot path
+        # stays a cheap early return.
+        t = PhaseTracer(enabled=False)
+        t.begin(0, "not-a-phase", 0.0)
+        t.end(0, "not-a-phase", 1.0)
+        t.record(0, "also-wrong", 0.0, 1.0)
+        assert t.spans == []

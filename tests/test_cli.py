@@ -75,3 +75,44 @@ class TestCommands:
         monkeypatch.setattr(acc, "run_table2", tiny)
         assert main(["run", "table2"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestTraceExport:
+    def test_trace_command_writes_perfetto_json(self, tmp_path, capsys):
+        out_file = tmp_path / "fig3.json"
+        code = main(
+            ["trace", "fig3", "--workers", "2", "--iters", "2", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        trace = json.loads(out_file.read_text())
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "X" and e.get("cat") == "phase" for e in events)
+        assert any(e["ph"] == "C" for e in events)
+
+    def test_trace_rejects_table1(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "table1", "--out", "x.json"])
+
+    def test_run_trace_out_and_sweep_stats(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_file = tmp_path / "result.json"
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "run", "fig3",
+                "--iters", "2",
+                "--workers", "2",
+                "--jobs", "1",
+                "--output", str(out_file),
+                "--trace-out", str(trace_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep stats:" in out
+        data = json.loads(out_file.read_text())
+        assert set(data) == {"result", "sweep_stats"}
+        assert data["sweep_stats"]["executed"] > 0
+        trace = json.loads(trace_file.read_text())
+        assert trace["traceEvents"]
