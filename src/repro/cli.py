@@ -14,6 +14,9 @@ Usage::
     python -m repro train bsp --workers 8 --epochs 10
     python -m repro trace fig3 --out fig3_trace.json
     python -m repro run fig3 --trace-out fig3_trace.json
+    python -m repro faults [--workers 8] [--scenarios crash,partition]
+    python -m repro train bsp --fault-spec faults.json --fault-seed 3
+    python -m repro run fig2 --fault-spec faults.json
 
 Every ``run`` prints the paper-style table and, with ``--output FILE``,
 also writes the structured result as JSON (see :mod:`repro.io`),
@@ -25,6 +28,14 @@ full run config (``--cache-dir``, default ``~/.cache/repro``; disable
 with ``--no-cache``). Per-run progress goes to stderr; a one-line
 sweep summary (submitted / cached / executed / wall time) is printed
 after every sweep.
+
+``faults`` runs the fault-tolerance grid: named failure scenarios
+(crash, crash-rejoin, NIC degrade, partition, packet loss) against
+every algorithm, reporting throughput retained vs the fault-free
+baseline. ``--fault-spec FILE`` on ``run``/``train`` injects a
+JSON-specified fault schedule into those runs instead
+(:meth:`repro.faults.FaultConfig.save` writes the format); the fault
+summary lands in the ``--output`` JSON under ``"faults"``.
 
 ``trace`` (or ``--trace-out`` on ``run``/``train``) exports a
 Chrome/Perfetto trace-event JSON of one instrumented run — load it at
@@ -88,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export a Perfetto trace of one representative run here",
     )
+    _add_fault_spec_args(run)
 
     train = sub.add_parser("train", help="train one algorithm and print its history")
     train.add_argument("algorithm")
@@ -102,6 +114,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export a Perfetto trace of this training run here",
     )
+    _add_fault_spec_args(train)
+
+    faults = sub.add_parser(
+        "faults", help="fault-tolerance grid: failure scenarios x algorithms"
+    )
+    faults.add_argument(
+        "--scenarios",
+        type=str,
+        default=None,
+        help="comma-separated scenario names (default: all)",
+    )
+    faults.add_argument(
+        "--algorithms",
+        type=str,
+        default=None,
+        help="comma-separated algorithm names (default: all seven)",
+    )
+    faults.add_argument("--workers", type=int, default=8)
+    faults.add_argument("--iters", type=int, default=20, help="measured iterations")
+    faults.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
+    faults.add_argument("--bandwidth", type=float, default=10.0, help="Gbps")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--fault-seed", type=int, default=0)
+    faults.add_argument("--output", type=str, default=None)
+    faults.add_argument("--jobs", type=int, default=None)
+    faults.add_argument("--no-cache", action="store_true")
+    faults.add_argument("--cache-dir", type=str, default=None)
 
     trace = sub.add_parser(
         "trace", help="export a Perfetto trace of one representative run"
@@ -117,6 +156,59 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (timing experiments)")
     trace.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_fault_spec_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--fault-spec",
+        type=str,
+        default=None,
+        help="JSON fault schedule (FaultConfig.save format) injected into the run(s)",
+    )
+    sub.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the fault schedule's RNG seed",
+    )
+
+
+def _install_fault_spec(args: argparse.Namespace) -> "Any | None":
+    """Load ``--fault-spec`` (if given) and make it the process-wide
+    default so every config built afterwards carries it."""
+    if not getattr(args, "fault_spec", None):
+        return None
+    from repro.experiments.config import set_default_faults
+    from repro.faults import FaultConfig
+
+    faults = FaultConfig.load(args.fault_spec)
+    if args.fault_seed is not None:
+        faults = faults.with_seed(args.fault_seed)
+    set_default_faults(faults)
+    return faults
+
+
+def _run_faults_cmd(args: argparse.Namespace) -> tuple[str, Any]:
+    from repro.experiments.faults import FAULT_ALGORITHMS, FAULT_SCENARIOS, run_faults
+
+    kwargs: dict[str, Any] = dict(
+        num_workers=args.workers,
+        model=args.model,
+        bandwidth_gbps=args.bandwidth,
+        measure_iters=args.iters,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+    )
+    if args.scenarios:
+        kwargs["scenarios"] = tuple(s for s in args.scenarios.split(",") if s)
+    else:
+        kwargs["scenarios"] = tuple(FAULT_SCENARIOS)
+    if args.algorithms:
+        kwargs["algorithms"] = tuple(a for a in args.algorithms.split(",") if a)
+    else:
+        kwargs["algorithms"] = FAULT_ALGORITHMS
+    result = run_faults(**kwargs)
+    return result.render(), result
 
 
 def _run_experiment(args: argparse.Namespace) -> tuple[str, Any]:
@@ -239,7 +331,16 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
         title=f"{history.algorithm} — {args.workers} workers",
     )
     text += f"\nfinal accuracy: {history.final_test_accuracy:.4f}"
-    return text, history_to_dict(history)
+    payload = history_to_dict(history)
+    fault_summary = history.metadata.get("faults")
+    if fault_summary is not None:
+        payload["faults"] = fault_summary
+        text += (
+            f"\nfaults: {len(fault_summary['evictions'])} evictions, "
+            f"{len(fault_summary['rejoins'])} rejoins, "
+            f"final live workers {fault_summary['final_live_workers']}"
+        )
+    return text, payload
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -269,7 +370,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         return _run_trace(args)
     sweep_stats = None
-    if args.command == "run":
+    _install_fault_spec(args)
+    if args.command in ("run", "faults"):
         from repro.experiments.executor import SweepExecutor, set_default_executor
 
         executor = SweepExecutor(
@@ -279,7 +381,10 @@ def main(argv: list[str] | None = None) -> int:
             progress=lambda line: print(line, file=sys.stderr),
         )
         set_default_executor(executor)
-        text, result = _run_experiment(args)
+        if args.command == "faults":
+            text, result = _run_faults_cmd(args)
+        else:
+            text, result = _run_experiment(args)
         if executor.total_stats.total:
             sweep_stats = executor.total_stats
     else:
@@ -304,7 +409,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             _instrumented_run(cfg, args.trace_out, f"repro run {args.experiment}")
     if args.output:
-        if args.command == "run" and sweep_stats is not None:
+        if args.command in ("run", "faults") and sweep_stats is not None:
             payload: Any = {"result": result, "sweep_stats": sweep_stats.to_dict()}
         else:
             payload = result

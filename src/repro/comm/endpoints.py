@@ -19,11 +19,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.recorder import RunObserver
 from repro.sim.cluster import ClusterSpec
 from repro.sim.costmodel import CommModel
-from repro.sim.engine import Engine, Get, Signal, Store
+from repro.sim.engine import Engine, Get, Signal, Store, Timeout
 from repro.sim.network import Network
 from repro.sim.trace import PhaseTracer
 
-__all__ = ["CommContext", "Node"]
+__all__ = ["CommContext", "Node", "heartbeat_loop", "HEARTBEAT_BYTES"]
+
+#: Wire size of one heartbeat control message.
+HEARTBEAT_BYTES = 32
 
 
 @dataclass
@@ -37,6 +40,12 @@ class CommContext:
     comm_model: CommModel = field(default_factory=CommModel)
     tracer: PhaseTracer = field(default_factory=lambda: PhaseTracer(enabled=False))
     observer: "RunObserver | None" = None
+    # Membership epoch: bumped by the fault controller on every
+    # eviction/rejoin. Messages are stamped with the epoch at send time
+    # and dropped at delivery if the epoch moved on — an in-flight
+    # gradient from a fenced-off worker must not corrupt the new round.
+    epoch: int = 0
+    dropped_messages: int = 0
 
     @property
     def now(self) -> float:
@@ -79,6 +88,7 @@ class Node:
         meta: dict[str, Any] | None = None,
         trace_worker: int | None = None,
         tx_done: Signal | None = None,
+        oob: bool = False,
     ) -> Signal:
         """Transmit a message; returns the delivery signal.
 
@@ -99,11 +109,15 @@ class Node:
         self.sent_messages += 1
         self.sent_bytes += nbytes
         send_time = engine.now
+        epoch = self.ctx.epoch
         done = self.ctx.network.transfer(
-            self.machine, dst.machine, nbytes, tx_done=tx_done
+            self.machine, dst.machine, nbytes, tx_done=tx_done, oob=oob
         )
 
         def deliver(_value: Any) -> None:
+            if self.ctx.epoch != epoch:
+                self.ctx.dropped_messages += 1
+                return
             msg.recv_time = engine.now
             if trace_worker is not None:
                 self.ctx.tracer.record(trace_worker, "comm", send_time, engine.now)
@@ -131,3 +145,31 @@ class Node:
     def pending(self, kind: str) -> int:
         """Messages of ``kind`` already queued (non-blocking probe)."""
         return len(self.mailbox(kind))
+
+    def flush(self, kind: str | None = None) -> None:
+        """Drop queued messages and cancel blocked receivers.
+
+        Called by the fault controller on membership changes: the
+        protocol restarts from a clean round, so messages addressed to
+        the previous epoch must not leak into the new one.
+        """
+        if kind is not None:
+            self.mailbox(kind).clear()
+            return
+        for box in self._mailboxes.values():
+            box.clear()
+
+
+def heartbeat_loop(node: Node, monitor: Node, worker: int, interval: float, runtime):
+    """Process body: periodically announce liveness to ``monitor``.
+
+    The failure detector (``repro.faults.controller``) evicts a worker
+    whose heartbeats stop arriving. The loop itself is what the fault
+    controller kills to simulate a crash — a dead worker falls silent,
+    it does not announce its own death.
+    """
+    while not runtime.stopping:
+        yield Timeout(interval)
+        if runtime.stopping:
+            return
+        node.send(monitor, "hb", nbytes=HEARTBEAT_BYTES, meta={"worker": worker}, oob=True)

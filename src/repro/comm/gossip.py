@@ -23,7 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GossipState", "gossip_send_share", "gossip_merge", "choose_gossip_target"]
+__all__ = [
+    "GossipState",
+    "gossip_send_share",
+    "gossip_merge",
+    "choose_gossip_target",
+    "choose_gossip_peer",
+]
 
 
 @dataclass
@@ -73,3 +79,17 @@ def choose_gossip_target(rank: int, world: int, rng: np.random.Generator) -> int
         raise ValueError("gossip needs at least two workers")
     target = int(rng.integers(0, world - 1))
     return target if target < rank else target + 1
+
+
+def choose_gossip_peer(wid: int, live: list[int], rng: np.random.Generator) -> int:
+    """Uniform random *live* peer other than ``wid``.
+
+    With ``live == list(range(world))`` this consumes the same RNG draw
+    and returns the same peer as :func:`choose_gossip_target` — the
+    fault-free path is bit-identical.
+    """
+    if len(live) < 2:
+        raise ValueError("gossip needs at least two live workers")
+    t = int(rng.integers(0, len(live) - 1))
+    i = live.index(wid)
+    return live[t] if t < i else live[t + 1]

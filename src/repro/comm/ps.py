@@ -295,6 +295,24 @@ class PSShard(Node):
             trace_worker=trace_worker,
         )
 
+    # -- failure awareness ---------------------------------------------
+    def on_membership_change(self, live: list[int]) -> None:
+        """Reconcile shard state with the new live worker set.
+
+        Base behaviour prunes per-worker bookkeeping of evicted
+        workers; subclasses additionally drop round state (partial
+        aggregates, clock tables) so the next round starts clean over
+        the survivors. A rejoining worker re-enters with no delta-pull
+        version, so its first pull is effectively a full snapshot.
+        """
+        keep = set(live)
+        self._worker_version = {
+            w: v for w, v in self._worker_version.items() if w in keep
+        }
+        self._obs_last_pull = {
+            w: v for w, v in self._obs_last_pull.items() if w in keep
+        }
+
     # -- serve loop --------------------------------------------------------
     def serve(self) -> Generator[Any, Any, None]:
         """Main shard process: pop requests FIFO, dispatch to handle()."""

@@ -25,7 +25,7 @@ from typing import Any, Generator
 
 import numpy as np
 
-from repro.comm.pairwise import bipartite_split, build_exchange_graph, verify_deadlock_free
+from repro.comm.pairwise import build_exchange_graph, verify_deadlock_free
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
 from repro.core.worker import WorkerSlot, compute_iteration
@@ -105,27 +105,44 @@ class ADPSGD(TrainingAlgorithm):
         graph = build_exchange_graph(n)
         if not verify_deadlock_free(graph):  # pragma: no cover - structural guarantee
             raise RuntimeError("exchange graph is not deadlock-free")
-        active, passive = bipartite_split(n)
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        # Positional split of the live set: with all workers live this
+        # is exactly bipartite_split's evens-active / odds-passive; after
+        # an eviction it rebalances the bipartite graph over survivors.
+        live = sorted(wids)
+        active, passive = live[0::2], live[1::2]
         for wid in active:
             slot = runtime.workers[wid]
             if passive:
                 tokens = runtime.engine.store()
-                runtime.engine.spawn(
-                    _compute_process(runtime, slot, tokens), name=f"adpsgd-comp-w{wid}"
+                runtime.spawn(
+                    _compute_process(runtime, slot, tokens),
+                    name=f"adpsgd-comp-w{wid}",
+                    owner=wid,
                 )
-                runtime.engine.spawn(
-                    _active_comm(runtime, slot, tokens, passive), name=f"adpsgd-comm-w{wid}"
+                runtime.spawn(
+                    _active_comm(runtime, slot, tokens, passive),
+                    name=f"adpsgd-comm-w{wid}",
+                    owner=wid,
                 )
             else:  # single worker: plain sequential SGD
-                runtime.engine.spawn(
-                    _compute_process(runtime, slot, None), name=f"adpsgd-comp-w{wid}"
+                runtime.spawn(
+                    _compute_process(runtime, slot, None),
+                    name=f"adpsgd-comp-w{wid}",
+                    owner=wid,
                 )
         for wid in passive:
             slot = runtime.workers[wid]
-            runtime.engine.spawn(
-                _compute_process(runtime, slot, None), name=f"adpsgd-comp-w{wid}"
+            runtime.spawn(
+                _compute_process(runtime, slot, None),
+                name=f"adpsgd-comp-w{wid}",
+                owner=wid,
             )
-            runtime.engine.spawn(_passive_comm(runtime, slot), name=f"adpsgd-serve-w{wid}")
+            runtime.spawn(
+                _passive_comm(runtime, slot), name=f"adpsgd-serve-w{wid}", owner=wid
+            )
 
     def global_params(self) -> np.ndarray | None:
         return self._average_worker_params()

@@ -32,23 +32,25 @@ __all__ = ["ARSGD"]
 def _ring_allreduce_entry(
     rt: Runtime,
     slot: WorkerSlot,
+    ring: list[int],
     entry_label: str,
     ranges: tuple[tuple[int, int], ...],
     vec: np.ndarray | None,
     num_elements: int,
     done: Signal,
 ) -> Generator[Any, Any, None]:
-    """Ring AllReduce of one entry's elements; triggers ``done`` with
-    the reduced (summed) vector, or ``None`` in timing mode."""
-    world = rt.config.num_workers
-    rank = slot.wid
+    """Ring AllReduce of one entry's elements over the workers in
+    ``ring``; triggers ``done`` with the reduced (summed) vector, or
+    ``None`` in timing mode."""
+    world = len(ring)
+    rank = ring.index(slot.wid)
     kind = f"ring:{entry_label}"
     if world == 1:
         done.trigger(vec, engine=rt.engine)
         return
         yield  # pragma: no cover
     _, right = ring_neighbors(rank, world)
-    right_node = rt.workers[right].node
+    right_node = rt.workers[ring[right]].node
     slices = chunk_slices(num_elements, world)
     bpp = rt.sharding.bytes_per_param
     buf = vec.copy() if vec is not None else None
@@ -79,21 +81,25 @@ def _ring_allreduce_entry(
 
 
 def _allgather_sparse(
-    rt: Runtime, slot: WorkerSlot, sparse: SparseGradient | None, nbytes_own: int
+    rt: Runtime,
+    slot: WorkerSlot,
+    ring: list[int],
+    sparse: SparseGradient | None,
+    nbytes_own: int,
 ) -> Generator[Any, Any, np.ndarray | None]:
     """Ring allgather of per-worker sparse gradients (DGC path).
 
     Each worker circulates its own block around the ring; after N−1
     steps everyone has every block. Returns the dense sum or ``None``.
     """
-    world = rt.config.num_workers
+    world = len(ring)
     total = np.zeros(rt.total_elements, dtype=np.float64) if sparse is not None else None
     if total is not None and sparse is not None:
         total[sparse.indices] += sparse.values
     if world == 1:
         return total
-    _, right = ring_neighbors(slot.wid, world)
-    right_node = rt.workers[right].node
+    _, right = ring_neighbors(ring.index(slot.wid), world)
+    right_node = rt.workers[ring[right]].node
     block: Any = sparse
     block_bytes = nbytes_own
     for _ in range(world - 1):
@@ -121,10 +127,11 @@ def _allgather_sparse(
     return total
 
 
-def _arsgd_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
+def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[Any, Any, None]:
     tracer = rt.tracer
     entries = rt.comm_plan.entries
     dgc_on = rt.dgc_config is not None
+    world = len(ring)
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = slot.comp.gradient() if slot.comp is not None else None
@@ -142,11 +149,11 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
             elif slot.dgc is not None:
                 nbytes = slot.dgc.compressed_bytes(epoch=rt.sample_clock.epoch())
             tracer.begin(slot.wid, "global_agg", rt.engine.now)
-            total = yield from _allgather_sparse(rt, slot, sparse, nbytes)
+            total = yield from _allgather_sparse(rt, slot, ring, sparse, nbytes)
             tracer.end(slot.wid, "global_agg", rt.engine.now)
             if slot.comp is not None and total is not None:
                 slot.comp.apply_gradient(
-                    total / rt.config.num_workers, rt.lr_at_round(slot.iterations)
+                    total / world, rt.lr_at_round(slot.iterations)
                 )
         else:
             # One ring per comm-plan entry, launched at its readiness
@@ -167,11 +174,12 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
                     else None
                 )
                 done = Signal()
-                rt.engine.spawn(
+                rt.spawn(
                     _ring_allreduce_entry(
-                        rt, slot, entry.label, ranges, vec, entry.num_elements, done
+                        rt, slot, ring, entry.label, ranges, vec, entry.num_elements, done
                     ),
                     name=f"ring-{entry.label}-w{slot.wid}",
+                    owner=slot.wid,
                 )
                 signals.append(done)
                 entry_meta.append((ranges, done))
@@ -191,7 +199,7 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
                         agg[a:b] = reduced[offset : offset + (b - a)]
                         offset += b - a
                 slot.comp.apply_gradient(
-                    agg / rt.config.num_workers, rt.lr_at_round(slot.iterations)
+                    agg / world, rt.lr_at_round(slot.iterations)
                 )
         rt.on_iteration(slot)
 
@@ -208,8 +216,28 @@ class ARSGD(TrainingAlgorithm):
 
     def setup(self, runtime: Runtime) -> None:
         self.runtime = runtime
-        for slot in runtime.workers:
-            runtime.engine.spawn(_arsgd_worker(runtime, slot), name=f"arsgd-w{slot.wid}")
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        # The ring is rebuilt over the survivors in wid order; with all
+        # workers live it is identical to the original 0..N−1 ring.
+        ring = sorted(wids)
+        for wid in ring:
+            runtime.spawn(
+                _arsgd_worker(runtime, runtime.workers[wid], ring),
+                name=f"arsgd-w{wid}",
+                owner=wid,
+            )
+
+    def on_membership_change(self, runtime: Runtime) -> None:
+        # AR-SGD replicas are identical between rounds, so a restarted
+        # round must resume from a common iteration count or the lr
+        # schedules (and stop conditions) would diverge across the ring.
+        live = runtime.live_worker_ids()
+        sync = max((runtime.workers[w].iterations for w in live), default=0)
+        for w in live:
+            runtime.workers[w].iterations = sync
+        super().on_membership_change(runtime)
 
     def global_params(self) -> np.ndarray | None:
         # All replicas are identical between rounds; the average is

@@ -50,6 +50,11 @@ class ASPShard(PSShard):
         super().__init__(*args, **kwargs)
         self._partial: dict[int, tuple[int, np.ndarray | None]] = {}
 
+    def on_membership_change(self, live: list[int]) -> None:
+        super().on_membership_change(live)
+        # Half-accumulated gradient sets from the old epoch are void.
+        self._partial.clear()
+
     def _layerwise(self) -> bool:
         # Per-layer apply/reply only for plain wait-free BP; DGC payloads
         # are already tiny, so the full-set + delta-pull path stays.
@@ -168,8 +173,15 @@ class ASP(TrainingAlgorithm):
         self.runtime = runtime
         # Momentum-free folds (see Runtime.fold_lr for the rationale).
         runtime.create_ps_shards(ASPShard, momentum=0.0)
-        for slot in runtime.workers:
-            runtime.engine.spawn(_asp_worker(runtime, slot), name=f"asp-w{slot.wid}")
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        for wid in wids:
+            runtime.spawn(
+                _asp_worker(runtime, runtime.workers[wid]),
+                name=f"asp-w{wid}",
+                owner=wid,
+            )
 
     def global_params(self) -> np.ndarray | None:
         return self._ps_global_params()

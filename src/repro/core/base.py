@@ -68,6 +68,33 @@ class TrainingAlgorithm:
         """Create nodes and spawn simulation processes."""
         raise NotImplementedError
 
+    def spawn_workers(self, runtime: "Runtime", wids: list[int]) -> None:
+        """Spawn (or respawn) the worker processes for ``wids``.
+
+        Called by :meth:`setup` with the full worker set and by
+        :meth:`on_membership_change` with the survivors. Algorithms
+        spawn through ``runtime.spawn(..., owner=wid)`` so a crash can
+        find the processes it takes down.
+        """
+        raise NotImplementedError
+
+    def on_membership_change(self, runtime: "Runtime") -> None:
+        """Restart the protocol over the new live worker set.
+
+        Invoked by the fault controller after it has bumped the comm
+        epoch, killed every registered process, and flushed mailboxes.
+        The default reconciles each PS shard with the survivors,
+        respawns the shard serve lanes, and respawns the live workers;
+        overrides add algorithm-specific state repair (ring rebuild,
+        gossip-weight renormalisation, clock resets) before delegating
+        here.
+        """
+        live = runtime.live_worker_ids()
+        for shard in runtime.ps_nodes:
+            shard.on_membership_change(live)
+            runtime.spawn_shard_lanes(shard)
+        self.spawn_workers(runtime, live)
+
     def global_params(self) -> np.ndarray | None:
         """Consensus parameters used for evaluation.
 
@@ -96,7 +123,12 @@ class TrainingAlgorithm:
 
     def _average_worker_params(self) -> np.ndarray | None:
         assert self.runtime is not None
-        comps = [w.comp for w in self.runtime.workers if w.comp is not None]
+        live = self.runtime.live_worker_ids()
+        comps = [
+            self.runtime.workers[w].comp
+            for w in live
+            if self.runtime.workers[w].comp is not None
+        ]
         if not comps:
             return None
         acc = comps[0].model.get_flat_parameters()

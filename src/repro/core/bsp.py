@@ -38,17 +38,19 @@ from repro.sim.engine import Get, Timeout
 __all__ = ["BSP", "BSPShard", "aggregation_groups"]
 
 
-def aggregation_groups(rt: Runtime) -> list[list[int]]:
+def aggregation_groups(rt: Runtime, wids: list[int] | None = None) -> list[list[int]]:
     """Partition workers into local-aggregation groups.
 
     With local aggregation on: one group per machine (its colocated
     workers); off: every worker is its own group. The first member of
-    each group is its leader.
+    each group is its leader. ``wids`` restricts grouping to a subset
+    (the live workers after an eviction); default is all workers.
     """
+    slots = rt.workers if wids is None else [rt.workers[w] for w in wids]
     if not rt.config.local_aggregation:
-        return [[slot.wid] for slot in rt.workers]
+        return [[slot.wid] for slot in slots]
     by_machine: dict[int, list[int]] = {}
-    for slot in rt.workers:
+    for slot in slots:
         by_machine.setdefault(slot.machine, []).append(slot.wid)
     return [sorted(group) for _, group in sorted(by_machine.items())]
 
@@ -62,8 +64,10 @@ class BSPShard(PSShard):
 
     def serve(self) -> Generator[Any, Any, None]:
         rt = self.runtime
-        expected = self.num_leaders * self.entries_per_sender
         while not rt.stopping:
+            # Per round: membership eviction may have shrunk the leader
+            # count since the previous round.
+            expected = self.num_leaders * self.entries_per_sender
             acc: np.ndarray | None = None
             leaders: list[int] = []
             first_arrival: float | None = None
@@ -183,8 +187,10 @@ def _leader_worker(
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = slot.comp.gradient() if slot.comp is not None else None
-        rt.engine.spawn(
-            _leader_self_feed(rt, slot, grad, duration), name=f"bsp-feed-w{slot.wid}"
+        rt.spawn(
+            _leader_self_feed(rt, slot, grad, duration),
+            name=f"bsp-feed-w{slot.wid}",
+            owner=slot.wid,
         )
 
         # Collect group_size copies of every entry; forward each entry
@@ -279,16 +285,24 @@ class BSP(TrainingAlgorithm):
         self.runtime = runtime
         groups = aggregation_groups(runtime)
         runtime.create_ps_shards(BSPShard, num_leaders=len(groups))
+        self.spawn_workers(runtime, [w for group in groups for w in group])
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        groups = aggregation_groups(runtime, wids)
+        for shard in runtime.ps_nodes:
+            shard.num_leaders = len(groups)
         for group in groups:
             leader = runtime.workers[group[0]]
-            runtime.engine.spawn(
+            runtime.spawn(
                 _leader_worker(runtime, leader, [runtime.workers[w] for w in group[1:]]),
                 name=f"bsp-lead-w{leader.wid}",
+                owner=leader.wid,
             )
             for wid in group[1:]:
-                runtime.engine.spawn(
+                runtime.spawn(
                     _peer_worker(runtime, runtime.workers[wid], leader),
                     name=f"bsp-peer-w{wid}",
+                    owner=wid,
                 )
 
     def global_params(self) -> np.ndarray | None:

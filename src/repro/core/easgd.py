@@ -119,11 +119,19 @@ class EASGD(TrainingAlgorithm):
 
     def setup(self, runtime: Runtime) -> None:
         self.runtime = runtime
-        alpha = self.alpha_for(runtime.config.num_workers)
+        # α is fixed at setup from the configured worker count; an
+        # eviction does not retune it (the center variable keeps its
+        # elasticity, matching a real deployment's static config).
+        self._alpha_resolved = self.alpha_for(runtime.config.num_workers)
         runtime.create_ps_shards(EASGDShard)
-        for slot in runtime.workers:
-            runtime.engine.spawn(
-                _easgd_worker(runtime, slot, self.tau, alpha), name=f"easgd-w{slot.wid}"
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        for wid in wids:
+            runtime.spawn(
+                _easgd_worker(runtime, runtime.workers[wid], self.tau, self._alpha_resolved),
+                name=f"easgd-w{wid}",
+                owner=wid,
             )
 
     def global_params(self) -> np.ndarray | None:

@@ -23,7 +23,7 @@ from typing import Any, Generator
 
 import numpy as np
 
-from repro.comm.gossip import GossipState, choose_gossip_target, gossip_merge, gossip_send_share
+from repro.comm.gossip import GossipState, choose_gossip_peer, gossip_merge, gossip_send_share
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
 from repro.core.worker import WorkerSlot, compute_iteration
@@ -33,7 +33,7 @@ __all__ = ["GoSGD"]
 
 
 def _gosgd_worker(
-    rt: Runtime, slot: WorkerSlot, p: float, state: GossipState
+    rt: Runtime, slot: WorkerSlot, p: float, state: GossipState, live: list[int]
 ) -> Generator[Any, Any, None]:
     model_bytes = rt.total_elements * rt.sharding.bytes_per_param
     while not rt.stopping:
@@ -49,8 +49,8 @@ def _gosgd_worker(
         if slot.comp is not None and grad is not None:
             slot.comp.apply_gradient(grad, rt.lr())
 
-        if rt.config.num_workers > 1 and slot.rng.random() < p:
-            target = choose_gossip_target(slot.wid, rt.config.num_workers, slot.rng)
+        if len(live) > 1 and slot.rng.random() < p:
+            target = choose_gossip_peer(slot.wid, live, slot.rng)
             share = gossip_send_share(state)
             payload = slot.comp.get_params() if slot.comp is not None else None
             tx_done = Signal()
@@ -92,10 +92,26 @@ class GoSGD(TrainingAlgorithm):
         self.runtime = runtime
         n = runtime.config.num_workers
         self._states = [GossipState(weight=1.0 / n) for _ in range(n)]
-        for slot, state in zip(runtime.workers, self._states):
-            runtime.engine.spawn(
-                _gosgd_worker(runtime, slot, self.p, state), name=f"gosgd-w{slot.wid}"
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        live = sorted(wids)
+        for wid in live:
+            runtime.spawn(
+                _gosgd_worker(runtime, runtime.workers[wid], self.p, self._states[wid], live),
+                name=f"gosgd-w{wid}",
+                owner=wid,
             )
+
+    def on_membership_change(self, runtime: Runtime) -> None:
+        # Push-sum repair: weight held by dead workers (or flushed from
+        # mailboxes) is gone; renormalise the survivors' weights so the
+        # invariant Σα = 1 holds over the new membership.
+        live = runtime.live_worker_ids()
+        total = sum(self._states[w].weight for w in live)
+        for w in live:
+            self._states[w].weight /= total
+        super().on_membership_change(runtime)
 
     @property
     def total_weight(self) -> float:

@@ -26,6 +26,7 @@ from repro.core.history import ThroughputResult, TrainingHistory
 from repro.core.worker import LocalComputation, WorkerSlot
 from repro.data.loader import BatchLoader
 from repro.data.partition import partition_dataset
+from repro.faults.config import FaultConfig
 from repro.data.synthetic import (
     Dataset,
     make_gaussian_blobs,
@@ -112,6 +113,13 @@ class RunConfig:
     seed: int = 0
     trace: bool = False
 
+    # Fault injection (repro.faults). None = fault-free, zero-overhead.
+    # Omitted from the cache fingerprint when None so every pre-fault
+    # content address stays valid.
+    faults: FaultConfig | None = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
+
     def __post_init__(self) -> None:
         if self.mode not in ("full", "timing"):
             raise ValueError("mode must be 'full' or 'timing'")
@@ -130,6 +138,22 @@ class RunConfig:
             raise ValueError("num_ps_shards must be positive")
         if self.measure_iters <= 0 or self.warmup_iters < 0:
             raise ValueError("invalid timing-mode iteration counts")
+        if self.faults is not None:
+            for event in self.faults.events:
+                if event.worker is not None and not (
+                    0 <= event.worker < self.num_workers
+                ):
+                    raise ValueError(
+                        f"fault event targets worker {event.worker}, but the run "
+                        f"has {self.num_workers} workers"
+                    )
+                if event.machine is not None and not (
+                    0 <= event.machine < self.cluster.machines
+                ):
+                    raise ValueError(
+                        f"fault event targets machine {event.machine}, but the "
+                        f"cluster has {self.cluster.machines} machines"
+                    )
 
 
 def execute_run(
@@ -209,6 +233,9 @@ class Runtime:
         self.total_elements = profile.total_params
         self._iteration_callback = None
         self._next_node_id = 0
+        # Fault controller; stays None on the fault-free path so every
+        # failure-awareness hook is a single `is not None` check.
+        self.faults = None
         # Pre-computed (shard, label) -> flat ranges for comm entries.
         self._entry_ranges: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
         self._build_entry_ranges()
@@ -218,6 +245,31 @@ class Runtime:
         nid = self._next_node_id
         self._next_node_id += 1
         return nid
+
+    def spawn(self, gen: Any, name: str = "", owner: int | None = None):
+        """Spawn an algorithm process.
+
+        All protocol processes (workers, shard serve lanes, helper
+        subprocesses) go through here so that, when fault injection is
+        on, the controller can kill them on crashes and membership
+        changes. ``owner`` is the worker id a crash takes down with it;
+        shard lanes pass None (they die only on membership changes).
+        """
+        process = self.engine.spawn(gen, name)
+        if self.faults is not None:
+            self.faults.register(process, owner)
+        return process
+
+    def live_worker_ids(self) -> list[int]:
+        """Worker ids currently in the cluster membership."""
+        if self.faults is not None:
+            return self.faults.membership.live_sorted()
+        return list(range(self.config.num_workers))
+
+    def spawn_shard_lanes(self, shard: PSShard) -> None:
+        """(Re)spawn a shard's serve loops."""
+        for lane in range(max(1, shard.serve_concurrency)):
+            self.spawn(shard.serve(), name=f"{shard.name}.t{lane}")
 
     def create_ps_shards(self, shard_cls: type[PSShard], **kwargs: Any) -> list[PSShard]:
         """Instantiate one shard node per sharding-plan shard and spawn
@@ -241,8 +293,7 @@ class Runtime:
             )
             shards.append(shard)
             self.nodes_by_id[shard.node_id] = shard
-            for lane in range(max(1, shard.serve_concurrency)):
-                self.engine.spawn(shard.serve(), name=f"{shard.name}.t{lane}")
+            self.spawn_shard_lanes(shard)
         self.ps_nodes = shards
         return shards
 
@@ -503,7 +554,19 @@ class DistributedRunner:
         self.runtime._iteration_callback = (
             self._on_iteration_full if full else self._on_iteration_timing
         )
+        # The fault controller must exist before setup so the processes
+        # the algorithm spawns get registered for kill delivery.
+        self.fault_controller = None
+        if cfg.faults is not None:
+            from repro.faults.controller import FaultController
+
+            self.fault_controller = FaultController(
+                self.runtime, self.algorithm, cfg.faults
+            )
+            self.runtime.faults = self.fault_controller
         self.algorithm.setup(self.runtime)
+        if self.fault_controller is not None:
+            self.fault_controller.start()
 
     # -- progress callbacks ------------------------------------------------
     def _on_iteration_full(self, slot: WorkerSlot) -> None:
@@ -567,7 +630,12 @@ class DistributedRunner:
 
     # -- execution -------------------------------------------------------------
     def run(self, *, max_events: int = 50_000_000) -> TrainingHistory | ThroughputResult:
-        self.engine.run(max_events=max_events)
+        horizon = (
+            self.config.faults.max_virtual_time
+            if self.config.faults is not None
+            else None
+        )
+        self.engine.run(until=horizon, max_events=max_events)
         if self.observer is not None:
             self.observer.finalize(
                 engine=self.engine, network=self.network, tracer=self.ctx.tracer
@@ -585,10 +653,18 @@ class DistributedRunner:
                     "total_messages": self.network.total_messages,
                 }
             )
+            if self.fault_controller is not None:
+                self._history.metadata["faults"] = self.fault_controller.summary()
             return self._history
         if self._measured is None:
+            detail = ""
+            if self.fault_controller is not None:
+                detail = (
+                    " (fault injection active: the cluster may not have "
+                    "survived the schedule, or max_virtual_time was reached)"
+                )
             raise RuntimeError(
-                "timing run ended before the measurement window completed"
+                "timing run ended before the measurement window completed" + detail
             )
         duration, images = self._measured
         result = ThroughputResult(
@@ -608,4 +684,6 @@ class DistributedRunner:
                 "total_messages": self.network.total_messages,
             }
         )
+        if self.fault_controller is not None:
+            result.metadata["faults"] = self.fault_controller.summary()
         return result

@@ -63,6 +63,15 @@ class SSPShard(PSShard):
     def min_clock(self) -> int:
         return min(self.clocks.values())
 
+    def on_membership_change(self, live: list[int]) -> None:
+        super().on_membership_change(live)
+        # The staleness bound restarts over the survivors: respawned
+        # workers all re-enter at clock 0, and an evicted straggler must
+        # stop pinning min_clock (the deadlock this PR exists to fix).
+        self._partial.clear()
+        self.clocks = {wid: 0 for wid in live}
+        self._blocked = []
+
     def handle(self, msg: Message) -> Generator[Any, Any, None]:
         op = msg.meta["op"]
         wid = msg.meta["worker"]
@@ -181,8 +190,15 @@ class SSP(TrainingAlgorithm):
         runtime.config.algorithm_params.setdefault("staleness", self.staleness)
         # Momentum-free folds (see Runtime.fold_lr for the rationale).
         runtime.create_ps_shards(SSPShard, momentum=0.0)
-        for slot in runtime.workers:
-            runtime.engine.spawn(_ssp_worker(runtime, slot), name=f"ssp-w{slot.wid}")
+        self.spawn_workers(runtime, runtime.live_worker_ids())
+
+    def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        for wid in wids:
+            runtime.spawn(
+                _ssp_worker(runtime, runtime.workers[wid]),
+                name=f"ssp-w{wid}",
+                owner=wid,
+            )
 
     def global_params(self) -> np.ndarray | None:
         return self._ps_global_params()

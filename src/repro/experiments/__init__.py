@@ -7,7 +7,9 @@
 * :mod:`repro.experiments.accuracy` — Table II, Fig 1, Table IV;
 * :mod:`repro.experiments.sensitivity` — Table III;
 * :mod:`repro.experiments.scalability` — Fig 2, Fig 3;
-* :mod:`repro.experiments.optimizations` — Fig 4.
+* :mod:`repro.experiments.optimizations` — Fig 4;
+* :mod:`repro.experiments.faults` — fault-tolerance grid (beyond the
+  paper: throughput retained under crash/rejoin/degrade/partition).
 
 Every driver returns a structured result object with a ``render()``
 method that prints the same rows/series the paper reports. Drivers
@@ -19,6 +21,7 @@ from repro.experiments.config import (
     PAPER_HYPERPARAMS,
     mini_accuracy_config,
     mini_dgc_config,
+    set_default_faults,
     timing_config,
 )
 from repro.experiments.executor import (
@@ -28,15 +31,19 @@ from repro.experiments.executor import (
     run_sweep,
     set_default_executor,
 )
+from repro.experiments.faults import FAULT_SCENARIOS, run_faults
 
 __all__ = [
     "PAPER_HYPERPARAMS",
     "mini_accuracy_config",
     "mini_dgc_config",
     "timing_config",
+    "set_default_faults",
     "SweepExecutor",
     "config_fingerprint",
     "default_executor",
     "run_sweep",
     "set_default_executor",
+    "FAULT_SCENARIOS",
+    "run_faults",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 
 from repro.core.runner import RunConfig
+from repro.faults.config import FaultConfig
 from repro.optimizations.dgc import DGCConfig
 from repro.sim.cluster import ClusterSpec, MachineSpec, paper_cluster
 
@@ -37,7 +38,25 @@ __all__ = [
     "mini_dgc_config",
     "timing_config",
     "representative_config",
+    "set_default_faults",
+    "default_faults",
 ]
+
+# Process-wide default fault configuration. The CLI's ``--fault-spec``
+# installs one here so that every config the experiment factories build
+# afterwards carries it (explicit ``faults=`` overrides still win).
+_DEFAULT_FAULTS: FaultConfig | None = None
+
+
+def set_default_faults(faults: FaultConfig | None) -> None:
+    """Install (or clear, with ``None``) the process-wide default
+    :class:`~repro.faults.config.FaultConfig`."""
+    global _DEFAULT_FAULTS
+    _DEFAULT_FAULTS = faults
+
+
+def default_faults() -> FaultConfig | None:
+    return _DEFAULT_FAULTS
 
 # The authors' recommended settings used in Table II / Fig 1 (§VI-A).
 PAPER_HYPERPARAMS: dict[str, dict] = {
@@ -136,6 +155,7 @@ def mini_accuracy_config(
         compute_time_override=MINI_COMPUTE_TIME,
         num_ps_shards=2 if centralized else 1,
         eval_every_epochs=max(1.0, epochs / 20.0),
+        faults=_DEFAULT_FAULTS,
         **MINI_MODEL,
         **MINI_DATASET,
     )
@@ -212,6 +232,7 @@ def timing_config(
         num_ps_shards=num_ps_shards,
         seed=seed,
         trace=True,
+        faults=_DEFAULT_FAULTS,
     )
     defaults.update(overrides)
     return RunConfig(**defaults)

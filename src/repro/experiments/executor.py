@@ -75,9 +75,19 @@ def _canonical(obj):
     if isinstance(obj, np.ndarray):
         return {"__ndarray__": obj.tolist()}
     if is_dataclass(obj) and not isinstance(obj, type):
+        # Fields marked "omit-if-none" vanish from the document when
+        # unset, so adding such a field to a config dataclass does not
+        # invalidate every previously pinned fingerprint.
         return {
             "__dataclass__": type(obj).__name__,
-            "fields": {f.name: _canonical(getattr(obj, f.name)) for f in fields(obj)},
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in fields(obj)
+                if not (
+                    f.metadata.get("fingerprint") == "omit-if-none"
+                    and getattr(obj, f.name) is None
+                )
+            },
         }
     if isinstance(obj, dict):
         return {

@@ -1,0 +1,221 @@
+"""Fault-tolerance experiment — resilience of the seven algorithms.
+
+The paper benchmarks the algorithms on a healthy cluster; this driver
+asks the complementary systems question its simulator makes cheap to
+answer: *how much throughput does each training protocol retain when
+the cluster misbehaves?* For every (scenario × algorithm) cell it
+
+1. runs the fault-free baseline (same config, ``faults=None`` — the
+   cached, fingerprint-stable run the other experiments share),
+2. re-runs with a :class:`~repro.faults.config.FaultConfig` whose event
+   times are fractions of that algorithm's own baseline duration (so a
+   "mid-run crash" is mid-run for BSP *and* for the 3× faster GoSGD),
+3. reports throughput retained (faulty ÷ baseline), evictions, rejoins
+   and stale-epoch drops.
+
+Scenarios (event times as fractions of the baseline measured window):
+
+* ``crash``         — one worker fails permanently at 40 %;
+* ``crash-rejoin``  — one worker fails at 30 % and rejoins after 20 %
+  via checkpoint restore from a live peer;
+* ``degrade``       — one machine's NIC drops to 25 % rate for 30 %;
+* ``partition``     — one machine is unreachable for 8 % (short enough
+  that the detector may or may not evict, depending on the protocol's
+  round length — that interplay is the point);
+* ``flaky``         — 30 % packet loss to one machine for 30 %
+  (retransmission delay, never silent loss).
+
+All runs go through the sweep executor: baselines are cache hits when
+any other experiment ran them, and faulty runs are cached under their
+own fingerprints (``faults`` is part of the content address when set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.core.history import ThroughputResult
+from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor, default_executor
+from repro.faults.config import FaultConfig, FaultEvent
+
+__all__ = ["FAULT_SCENARIOS", "FaultToleranceResult", "run_faults"]
+
+FAULT_ALGORITHMS = ("bsp", "asp", "ssp", "easgd", "ar-sgd", "gosgd", "ad-psgd")
+
+
+def _scenario_crash(t0: float, workers: int, machines: int) -> tuple[FaultEvent, ...]:
+    return (FaultEvent(time=0.4 * t0, kind="crash", worker=workers - 1),)
+
+
+def _scenario_crash_rejoin(
+    t0: float, workers: int, machines: int
+) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0, kind="crash", worker=workers - 1, rejoin_after=0.2 * t0
+        ),
+    )
+
+
+def _scenario_degrade(t0: float, workers: int, machines: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0,
+            kind="link_degrade",
+            machine=machines - 1,
+            duration=0.3 * t0,
+            rate_fraction=0.25,
+        ),
+    )
+
+
+def _scenario_partition(
+    t0: float, workers: int, machines: int
+) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.4 * t0, kind="partition", machine=machines - 1, duration=0.08 * t0
+        ),
+    )
+
+
+def _scenario_flaky(t0: float, workers: int, machines: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0,
+            kind="drop",
+            machine=machines - 1,
+            duration=0.3 * t0,
+            drop_prob=0.3,
+        ),
+    )
+
+
+#: scenario name -> (baseline_duration, num_workers, machines) -> events
+FAULT_SCENARIOS = {
+    "crash": _scenario_crash,
+    "crash-rejoin": _scenario_crash_rejoin,
+    "degrade": _scenario_degrade,
+    "partition": _scenario_partition,
+    "flaky": _scenario_flaky,
+}
+
+
+def _detection_params(t0: float) -> dict:
+    """Failure-detector settings scaled to the run length: heartbeats
+    every ~0.2 % of the run, eviction after ~2 % of silence."""
+    interval = max(1e-4, 0.002 * t0)
+    return dict(
+        heartbeat_interval=interval,
+        heartbeat_timeout=5.0 * interval,
+        backoff_factor=1.5,
+        max_suspect_rounds=1,
+    )
+
+
+@dataclass
+class FaultToleranceResult:
+    """retained[scenario][algorithm] plus the per-cell fault summaries."""
+
+    scenarios: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    baseline: dict[str, ThroughputResult] = field(default_factory=dict)
+    raw: dict[tuple[str, str], ThroughputResult] = field(default_factory=dict)
+    retained: dict[str, dict[str, float]] = field(default_factory=dict)
+    summaries: dict[tuple[str, str], dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["scenario", *(a.upper() for a in self.algorithms)]
+        rows = []
+        for scenario in self.scenarios:
+            rows.append(
+                [scenario, *(self.retained[scenario][a] for a in self.algorithms)]
+            )
+        table = format_table(
+            headers,
+            rows,
+            title="Fault tolerance — throughput retained vs fault-free baseline",
+            float_format="{:.2f}",
+        )
+        notes = []
+        for scenario in self.scenarios:
+            for algo in self.algorithms:
+                s = self.summaries[(scenario, algo)]
+                bits = []
+                if s["evictions"]:
+                    bits.append(f"evicted {[e['worker'] for e in s['evictions']]}")
+                if s["rejoins"]:
+                    bits.append(f"rejoined {[e['worker'] for e in s['rejoins']]}")
+                if s["stale_epoch_drops"]:
+                    bits.append(f"{s['stale_epoch_drops']} stale msgs dropped")
+                if s["retransmits"]:
+                    bits.append(f"{s['retransmits']} retransmits")
+                if bits:
+                    notes.append(f"  {scenario:>12s} / {algo:<7s} " + ", ".join(bits))
+        if notes:
+            table += "\n\nrecovery events:\n" + "\n".join(notes)
+        return table
+
+
+def run_faults(
+    *,
+    algorithms=FAULT_ALGORITHMS,
+    scenarios: tuple[str, ...] = tuple(FAULT_SCENARIOS),
+    num_workers: int = 8,
+    model: str = "resnet50",
+    bandwidth_gbps: float = 10.0,
+    measure_iters: int = 20,
+    seed: int = 0,
+    fault_seed: int = 0,
+    executor: SweepExecutor | None = None,
+) -> FaultToleranceResult:
+    """Run the fault-tolerance grid (scenarios × algorithms).
+
+    Two executor passes: the fault-free baselines first (their measured
+    durations size each algorithm's fault times), then the faulty grid.
+    """
+    unknown = set(scenarios) - set(FAULT_SCENARIOS)
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios {sorted(unknown)}; known: {sorted(FAULT_SCENARIOS)}"
+        )
+    executor = executor or default_executor()
+    algorithms = tuple(algorithms)
+    scenarios = tuple(scenarios)
+
+    def base_config(algo: str, faults: FaultConfig | None):
+        return timing_config(
+            algo,
+            num_workers=num_workers,
+            bandwidth_gbps=bandwidth_gbps,
+            model=model,
+            measure_iters=measure_iters,
+            seed=seed,
+            trace=False,
+            faults=faults,
+        )
+
+    result = FaultToleranceResult(scenarios=scenarios, algorithms=algorithms)
+    baselines = executor.map([base_config(a, None) for a in algorithms])
+    for algo, res in zip(algorithms, baselines):
+        result.baseline[algo] = res
+
+    cells = [(s, a) for s in scenarios for a in algorithms]
+    configs = []
+    for scenario, algo in cells:
+        t0 = result.baseline[algo].measured_time
+        machines = max(1, -(-num_workers // 4))
+        events = FAULT_SCENARIOS[scenario](t0, num_workers, machines)
+        faults = FaultConfig(
+            events=events, seed=fault_seed, **_detection_params(t0)
+        )
+        configs.append(base_config(algo, faults))
+    for (scenario, algo), res in zip(cells, executor.map(configs)):
+        result.raw[(scenario, algo)] = res
+        result.summaries[(scenario, algo)] = res.metadata["faults"]
+        result.retained.setdefault(scenario, {})[algo] = (
+            res.throughput / result.baseline[algo].throughput
+        )
+    return result

@@ -1,0 +1,26 @@
+"""Fault injection & failure-aware training protocols.
+
+``faults=None`` on a :class:`~repro.core.runner.RunConfig` is the
+zero-overhead path (bit-identical to the fault-free simulator);
+attaching a :class:`FaultConfig` arms heartbeats, failure detection,
+membership eviction, and elastic rejoin.
+"""
+
+from repro.faults.checkpoint import Snapshot, capture_snapshot, restore_snapshot
+from repro.faults.config import FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.controller import FaultController
+from repro.faults.membership import Membership
+from repro.faults.netfaults import LinkFaultModel
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultController",
+    "Membership",
+    "LinkFaultModel",
+    "Snapshot",
+    "capture_snapshot",
+    "restore_snapshot",
+]

@@ -1,0 +1,164 @@
+"""Fault model: seeded, virtual-time-stamped fault events.
+
+A :class:`FaultConfig` is part of :class:`~repro.core.runner.RunConfig`
+(and therefore of the sweep cache's content address): the same config +
+seed always reproduces the same failures at the same virtual times.
+Fault randomness (retransmission draws for probabilistic message drops)
+comes from a dedicated RNG stream derived from ``(run seed, fault
+seed)`` so it never perturbs the data/compute/jitter streams.
+
+Fault taxonomy (``FaultEvent.kind``):
+
+* ``crash``          — one worker process dies; with ``rejoin_after``
+                       it later restores a snapshot and re-enters.
+* ``machine_outage`` — every worker on a machine crashes at once.
+* ``link_degrade``   — a machine's NIC drops to ``rate_fraction`` of
+                       nominal bandwidth for ``duration`` seconds.
+* ``partition``      — a machine is unreachable for ``duration``
+                       seconds; in-flight and new messages are held up
+                       until the partition heals (plus one RTO).
+* ``drop``           — messages touching ``machine`` are each lost with
+                       ``drop_prob`` and retransmitted, for ``duration``
+                       seconds. Loss manifests as TCP-style
+                       retransmission latency, never as silent
+                       disappearance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+__all__ = ["FaultEvent", "FaultConfig", "FaultSchedule", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash", "machine_outage", "link_degrade", "partition", "drop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, stamped in virtual time."""
+
+    time: float
+    kind: str
+    worker: int | None = None
+    machine: int | None = None
+    duration: float | None = None
+    rate_fraction: float | None = None
+    drop_prob: float | None = None
+    rejoin_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}")
+        if self.kind == "crash" and self.worker is None:
+            raise ValueError("crash events need a worker")
+        if self.kind in ("machine_outage", "link_degrade", "partition", "drop") and (
+            self.machine is None
+        ):
+            raise ValueError(f"{self.kind} events need a machine")
+        if self.kind in ("link_degrade", "partition", "drop"):
+            if self.duration is None or self.duration <= 0:
+                raise ValueError(f"{self.kind} events need a positive duration")
+        if self.kind == "link_degrade":
+            if self.rate_fraction is None or not 0 < self.rate_fraction <= 1:
+                raise ValueError("link_degrade needs rate_fraction in (0, 1]")
+        if self.kind == "drop":
+            if self.drop_prob is None or not 0 <= self.drop_prob < 1:
+                raise ValueError("drop needs drop_prob in [0, 1)")
+        if self.rejoin_after is not None:
+            if self.kind != "crash":
+                raise ValueError("rejoin_after only applies to crash events")
+            if self.rejoin_after <= 0:
+                raise ValueError("rejoin_after must be positive")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault schedule plus failure-detector parameters.
+
+    Attaching a ``FaultConfig`` to a run (even an empty one) turns on
+    the failure-aware machinery: heartbeats, the monitor, membership
+    tracking. ``faults=None`` on the RunConfig is the zero-overhead
+    fault-free path and is byte-identical to the pre-fault simulator.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    #: Heartbeat period of every worker.
+    heartbeat_interval: float = 0.05
+    #: Base detection timeout: a worker whose last heartbeat is older
+    #: than this becomes suspect.
+    heartbeat_timeout: float = 0.25
+    #: Each unanswered suspicion round multiplies the deadline by this
+    #: (exponential backoff before declaring death).
+    backoff_factor: float = 2.0
+    #: Suspicion rounds before eviction.
+    max_suspect_rounds: int = 3
+    #: Hard stop for the virtual clock — a safety horizon so an
+    #: unsurvivable schedule ends the run instead of spinning forever.
+    max_virtual_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout < 2 * self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must be at least twice heartbeat_interval "
+                "(otherwise healthy workers get evicted)"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_suspect_rounds < 0:
+            raise ValueError("max_suspect_rounds must be non-negative")
+        if self.max_virtual_time is not None and self.max_virtual_time <= 0:
+            raise ValueError("max_virtual_time must be positive")
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    # -- (de)serialisation — the --fault-spec FILE format ----------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["events"] = [asdict(e) for e in self.events]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        data = dict(data)
+        events = tuple(FaultEvent(**e) for e in data.pop("events", []))
+        return cls(events=events, **data)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Time-ordered view of a :class:`FaultConfig`'s events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def from_config(cls, config: FaultConfig) -> "FaultSchedule":
+        # Stable sort: simultaneous events apply in declaration order.
+        return cls(events=tuple(sorted(config.events, key=lambda e: e.time)))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time at which the last scheduled fault has fired."""
+        return max((e.time for e in self.events), default=0.0)

@@ -1,0 +1,340 @@
+"""The fault controller: injector, failure detector, membership driver.
+
+One controller per faulty run. It owns:
+
+* the **injector** process — replays the :class:`FaultSchedule` at its
+  virtual-time stamps (crashes kill processes, outages crash whole
+  machines, link events arm the :class:`LinkFaultModel`);
+* the **failure detector** — every worker runs a heartbeat loop
+  (:func:`repro.comm.endpoints.heartbeat_loop`) to a monitor node; the
+  monitor evicts a worker whose heartbeats stop, after
+  ``max_suspect_rounds`` of exponentially backed-off suspicion. A crash
+  is detected *honestly*: the controller kills the worker's processes
+  and lets the silence be noticed, it never short-circuits detection;
+* **membership changes** — on every eviction or rejoin the comm epoch
+  is bumped (in-flight messages from the old view drop at delivery),
+  every algorithm process is killed, mailboxes are flushed, and
+  ``algorithm.on_membership_change`` rebuilds shard state and respawns
+  the live workers. The kill-and-respawn protocol is uniform across all
+  seven algorithms; what differs per algorithm is only the shard/state
+  reconciliation each override performs;
+* **elastic rejoin** — a crash with ``rejoin_after`` waits out the
+  delay, pulls a model snapshot over the simulated network
+  (:mod:`repro.faults.checkpoint`), restores the worker slot, and
+  re-enters it into membership.
+
+Everything is driven by virtual time and a dedicated RNG stream, so a
+given ``(RunConfig, FaultConfig)`` pair is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.comm.endpoints import Node, heartbeat_loop
+from repro.faults.checkpoint import capture_snapshot, restore_snapshot
+from repro.faults.config import FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.membership import Membership
+from repro.faults.netfaults import LinkFaultModel
+from repro.sim.engine import Process, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import TrainingAlgorithm
+    from repro.core.runner import Runtime
+
+__all__ = ["FaultController"]
+
+# Mixed into the RNG seed sequence so the fault stream never collides
+# with the data/compute/jitter streams derived from the run seed.
+_RNG_STREAM_TAG = 0xFA017
+
+
+class FaultController:
+    def __init__(
+        self,
+        runtime: "Runtime",
+        algorithm: "TrainingAlgorithm",
+        config: FaultConfig,
+    ) -> None:
+        self.rt = runtime
+        self.algorithm = algorithm
+        self.config = config
+        self.schedule = FaultSchedule.from_config(config)
+        self.rng = np.random.default_rng(
+            [runtime.config.seed & 0x7FFFFFFF, config.seed & 0x7FFFFFFF, _RNG_STREAM_TAG]
+        )
+        self.membership = Membership(range(runtime.config.num_workers))
+        self.link_model = LinkFaultModel(self.rng)
+        runtime.ctx.network.fault_model = self.link_model
+        # Processes owned by the training protocol: killed wholesale on
+        # membership changes; a crash kills only its worker's entries.
+        self._procs: list[tuple[Process, int | None]] = []
+        self._hb_procs: dict[int, Process] = {}
+        self._last_seen: dict[int, float] = {}
+        self._suspicion: dict[int, int] = {}
+        #: Workers whose processes are gone (crashed or fenced).
+        self.dead: set[int] = set()
+        self.monitor_node: Node | None = None
+        self.evictions: list[dict] = []
+        self.rejoins: list[dict] = []
+        self.events_applied: list[FaultEvent] = []
+        self.iterations_lost = 0
+
+    # -- registration ----------------------------------------------------
+    def register(self, process: Process, owner: int | None) -> None:
+        """Track an algorithm process (``owner`` = worker id, or None
+        for shard serve lanes). Called by ``Runtime.spawn``."""
+        self._procs.append((process, owner))
+        # Respawns accumulate dead entries; prune occasionally.
+        if len(self._procs) > 16 * self.rt.config.num_workers + 64:
+            self._procs = [(p, o) for p, o in self._procs if p.alive]
+
+    def start(self) -> None:
+        """Spawn the detector and injector (after algorithm setup)."""
+        rt = self.rt
+        self.monitor_node = Node(rt.ctx, rt.allocate_node_id(), 0, name="fd-monitor")
+        rt.nodes_by_id[self.monitor_node.node_id] = self.monitor_node
+        for wid in self.membership.live_sorted():
+            self._start_heartbeat(wid)
+        rt.engine.spawn(self._monitor(), name="fd.monitor")
+        if len(self.schedule):
+            rt.engine.spawn(self._injector(), name="fault.injector")
+
+    def _start_heartbeat(self, wid: int) -> None:
+        rt = self.rt
+        assert self.monitor_node is not None
+        self._hb_procs[wid] = rt.engine.spawn(
+            heartbeat_loop(
+                rt.workers[wid].node,
+                self.monitor_node,
+                wid,
+                self.config.heartbeat_interval,
+                rt,
+            ),
+            name=f"hb.w{wid}",
+        )
+
+    # -- fault injection -------------------------------------------------
+    def _injector(self):
+        rt = self.rt
+        step = max(4 * self.config.heartbeat_interval, 1e-6)
+        for event in self.schedule:
+            while rt.engine.now < event.time and not rt.stopping:
+                yield Timeout(min(step, event.time - rt.engine.now))
+            if rt.stopping:
+                return
+            self._apply(event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.events_applied.append(event)
+        if event.kind == "crash":
+            assert event.worker is not None
+            self._crash(event.worker, rejoin_after=event.rejoin_after)
+        elif event.kind == "machine_outage":
+            self._record("machine_outage", machine=event.machine)
+            for slot in self.rt.workers:
+                if slot.machine == event.machine:
+                    self._crash(slot.wid, rejoin_after=event.rejoin_after)
+        elif event.kind == "link_degrade":
+            assert event.machine is not None and event.rate_fraction is not None
+            self._record(
+                "link_degrade",
+                machine=event.machine,
+                detail=f"fraction={event.rate_fraction}",
+            )
+            self.rt.ctx.network.scale_machine_rate(event.machine, event.rate_fraction)
+            assert event.duration is not None
+            self.rt.engine._schedule(
+                event.duration, lambda m=event.machine: self._restore_rate(m)
+            )
+        elif event.kind == "partition":
+            assert event.machine is not None and event.duration is not None
+            self._record(
+                "partition", machine=event.machine, detail=f"duration={event.duration}"
+            )
+            self.link_model.partition(
+                event.machine, self.rt.engine.now + event.duration
+            )
+        elif event.kind == "drop":
+            assert event.drop_prob is not None and event.duration is not None
+            self._record(
+                "drop", machine=event.machine, detail=f"prob={event.drop_prob}"
+            )
+            self.link_model.set_drop(
+                event.machine, self.rt.engine.now + event.duration, event.drop_prob
+            )
+
+    def _restore_rate(self, machine: int) -> None:
+        self.rt.ctx.network.scale_machine_rate(machine, 1.0)
+        self._record("link_restore", machine=machine)
+
+    def _crash(self, wid: int, *, rejoin_after: float | None = None) -> None:
+        """Kill a worker's processes. Detection is left to the monitor."""
+        if wid in self.dead or not self.membership.is_live(wid):
+            return
+        rt = self.rt
+        slot = rt.workers[wid]
+        self.dead.add(wid)
+        self.iterations_lost += slot.iterations
+        self._kill_owned(wid)
+        hb = self._hb_procs.pop(wid, None)
+        if hb is not None and hb.alive:
+            hb.kill()
+        slot.node.flush()
+        rt.tracer.flush_open(rt.engine.now, worker=wid)
+        self._record("crash", worker=wid, machine=slot.machine)
+        if rejoin_after is not None:
+            rt.engine.spawn(self._rejoin(wid, rejoin_after), name=f"rejoin.w{wid}")
+
+    def _kill_owned(self, wid: int) -> None:
+        for process, owner in self._procs:
+            if owner == wid and process.alive:
+                process.kill()
+
+    # -- failure detection -----------------------------------------------
+    def _monitor(self):
+        """Heartbeat monitor: suspicion with exponential backoff.
+
+        A worker overdue past ``heartbeat_timeout`` becomes suspect;
+        each further overdue check multiplies the deadline by
+        ``backoff_factor``; past ``max_suspect_rounds`` the worker is
+        declared dead and evicted (with a fencing kill first — STONITH
+        — so a merely-partitioned worker cannot resurface in the old
+        epoch).
+        """
+        rt = self.rt
+        cfg = self.config
+        node = self.monitor_node
+        assert node is not None
+        self._last_seen = {wid: rt.engine.now for wid in self.membership.live_sorted()}
+        while not rt.stopping:
+            yield Timeout(cfg.heartbeat_interval)
+            if rt.stopping:
+                return
+            while node.pending("hb"):
+                msg = yield node.recv("hb")
+                wid = msg.meta["worker"]
+                if msg.recv_time > self._last_seen.get(wid, -1.0):
+                    self._last_seen[wid] = msg.recv_time
+                self._suspicion.pop(wid, None)
+            now = rt.engine.now
+            for wid in self.membership.live_sorted():
+                last = self._last_seen.get(wid, now)
+                rounds = self._suspicion.get(wid, 0)
+                deadline = cfg.heartbeat_timeout * (cfg.backoff_factor**rounds)
+                if now - last <= deadline:
+                    continue
+                rounds += 1
+                self._suspicion[wid] = rounds
+                self._record("suspect", worker=wid, detail=f"round={rounds}")
+                if rounds > cfg.max_suspect_rounds:
+                    self._suspicion.pop(wid, None)
+                    self._evict(wid)
+
+    def _evict(self, wid: int) -> None:
+        if not self.membership.is_live(wid) or len(self.membership) <= 1:
+            return
+        rt = self.rt
+        slot = rt.workers[wid]
+        # Fencing: even if the worker is only partitioned, its processes
+        # die now — it must not keep mutating state in the old epoch.
+        self._kill_owned(wid)
+        hb = self._hb_procs.pop(wid, None)
+        if hb is not None and hb.alive:
+            hb.kill()
+        self.dead.add(wid)
+        rt.tracer.flush_open(rt.engine.now, worker=wid)
+        self.evictions.append(
+            {"time": rt.engine.now, "worker": wid, "iterations": slot.iterations}
+        )
+        self._record("evict", worker=wid, machine=slot.machine)
+        self.membership.evict(wid)
+        self._membership_changed()
+
+    # -- membership protocol ---------------------------------------------
+    def _membership_changed(self) -> None:
+        """Uniform kill-and-respawn: restart the protocol over the live
+        set. Shard parameters and worker models persist; round state and
+        in-flight messages do not."""
+        rt = self.rt
+        rt.ctx.epoch += 1
+        procs, self._procs = self._procs, []
+        for process, _owner in procs:
+            if process.alive:
+                process.kill()
+        for node in rt.nodes_by_id.values():
+            if node is self.monitor_node:
+                continue
+            node.flush()
+        rt.tracer.flush_open(rt.engine.now)
+        self.algorithm.on_membership_change(rt)
+
+    # -- elastic rejoin --------------------------------------------------
+    def _rejoin(self, wid: int, delay: float):
+        rt = self.rt
+        cfg = self.config
+        yield Timeout(delay)
+        # The cluster must have noticed the death first: rejoining while
+        # the old incarnation is still a member would fork the view.
+        while wid not in self.membership.evicted and not rt.stopping:
+            yield Timeout(cfg.heartbeat_interval)
+        if rt.stopping:
+            return
+        snapshot = capture_snapshot(rt, self.algorithm)
+        if rt.ps_nodes:
+            src_node: Node = rt.ps_nodes[0]
+        else:
+            src_node = rt.workers[self.membership.live_sorted()[0]].node
+        slot = rt.workers[wid]
+        done = src_node.send(
+            slot.node, "snapshot", nbytes=snapshot.nbytes, payload=snapshot.params
+        )
+        yield done
+        if rt.stopping:
+            return
+        slot.node.flush("snapshot")
+        restore_snapshot(rt, slot, snapshot)
+        self.dead.discard(wid)
+        self.membership.join(wid)
+        self.rejoins.append(
+            {"time": rt.engine.now, "worker": wid, "iterations": snapshot.iterations}
+        )
+        self._record("rejoin", worker=wid, machine=slot.machine)
+        self._last_seen[wid] = rt.engine.now
+        self._membership_changed()
+        self._start_heartbeat(wid)
+
+    # -- reporting -------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        *,
+        worker: int | None = None,
+        machine: int | None = None,
+        detail: str = "",
+    ) -> None:
+        obs = self.rt.obs
+        if obs is not None:
+            obs.fault_event(
+                now=self.rt.engine.now,
+                kind=kind,
+                worker=worker,
+                machine=machine,
+                detail=detail,
+            )
+
+    def summary(self) -> dict:
+        """Fault outcome, attached to result metadata."""
+        return {
+            "events_applied": len(self.events_applied),
+            "evictions": self.evictions,
+            "rejoins": self.rejoins,
+            "iterations_lost": self.iterations_lost,
+            "final_live_workers": self.membership.live_sorted(),
+            "membership_generation": self.membership.generation,
+            "stale_epoch_drops": self.rt.ctx.dropped_messages,
+            "messages_delayed": self.link_model.messages_delayed,
+            "retransmits": self.link_model.retransmits,
+        }

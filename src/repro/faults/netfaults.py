@@ -1,0 +1,85 @@
+"""Link-level fault state consulted by ``Network.transfer``.
+
+Partitions and probabilistic drops surface as *extra delivery latency*
+(retransmission after timeout, as TCP would), never as silent loss: the
+simulator has no ARQ layer, so a truly vanished message would wedge
+every synchronous protocol with no real-world justification. The port
+reservations themselves are untouched — reservation times stay
+monotone, which the O(1) analytic :class:`~repro.sim.network.Port`
+requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinkFaultModel"]
+
+# Retransmission attempts are capped: with drop_prob < 1 the geometric
+# tail is finite anyway, and a bound keeps adversarial specs from
+# spinning the RNG.
+_MAX_RETRIES = 64
+
+
+class LinkFaultModel:
+    """Active partition/drop windows plus the retransmission RNG."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        # machine -> heal time (virtual seconds)
+        self.partitioned_until: dict[int, float] = {}
+        # machine (or None = every link) -> (until, drop probability)
+        self.drop_until: dict[int | None, tuple[float, float]] = {}
+        self.messages_delayed = 0
+        self.retransmits = 0
+
+    # -- window management (called by the fault controller) --------------
+    def partition(self, machine: int, until: float) -> None:
+        self.partitioned_until[machine] = max(
+            until, self.partitioned_until.get(machine, 0.0)
+        )
+
+    def set_drop(self, machine: int | None, until: float, prob: float) -> None:
+        self.drop_until[machine] = (until, prob)
+
+    # -- the Network.transfer hook ---------------------------------------
+    def delivery_delay(
+        self, src: int, dst: int, nbytes: int, now: float, rto: float
+    ) -> float:
+        """Extra seconds before this message's first bit arrives."""
+        extra = 0.0
+        for machine in (src, dst):
+            heal = self.partitioned_until.get(machine)
+            if heal is None:
+                continue
+            if now < heal:
+                # Held until the partition heals, then one retransmit.
+                extra = max(extra, heal - now + rto)
+            else:
+                del self.partitioned_until[machine]
+
+        prob = self._drop_prob(src, dst, now)
+        if prob > 0.0:
+            retries = 0
+            while retries < _MAX_RETRIES and self.rng.random() < prob:
+                retries += 1
+            if retries:
+                self.retransmits += retries
+                extra += retries * rto
+
+        if extra > 0.0:
+            self.messages_delayed += 1
+        return extra
+
+    def _drop_prob(self, src: int, dst: int, now: float) -> float:
+        prob = 0.0
+        for scope in (None, src, dst):
+            window = self.drop_until.get(scope)
+            if window is None:
+                continue
+            until, p = window
+            if now < until:
+                prob = max(prob, p)
+            else:
+                del self.drop_until[scope]
+        return prob

@@ -30,7 +30,7 @@ fingerprints). Enable with::
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Series
 from repro.obs.perfetto import build_trace, write_trace
-from repro.obs.recorder import MessageEvent, ProcessSpan, RunObserver
+from repro.obs.recorder import FaultEventRecord, MessageEvent, ProcessSpan, RunObserver
 
 __all__ = [
     "ObsConfig",
@@ -38,6 +38,7 @@ __all__ = [
     "Gauge",
     "Series",
     "MetricsRegistry",
+    "FaultEventRecord",
     "MessageEvent",
     "ProcessSpan",
     "RunObserver",

@@ -140,6 +140,31 @@ def build_trace(
         if (metrics_pid, 1) not in named_threads and observer.processes:
             named_threads.add((metrics_pid, 1))
             thread_name(metrics_pid, 1, "engine processes")
+        for fault in getattr(observer, "fault_events", []):
+            pid, tid = (
+                _worker_lane(fault.worker, cluster, machines)
+                if fault.worker is not None
+                else (metrics_pid, 2)
+            )
+            if (metrics_pid, 2) not in named_threads and fault.worker is None:
+                named_threads.add((metrics_pid, 2))
+                thread_name(metrics_pid, 2, "faults")
+            events.append(
+                {
+                    "ph": "i",  # instant event, global scope: draws a
+                    "s": "g",  # full-height marker line in Perfetto
+                    "name": f"fault:{fault.kind}",
+                    "cat": "fault",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": fault.time * _US,
+                    "args": {
+                        "worker": fault.worker,
+                        "machine": fault.machine,
+                        "detail": fault.detail,
+                    },
+                }
+            )
         for name, series in sorted(observer.registry.all_series().items()):
             for t, v in zip(series.times, series.values):
                 events.append(

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network, Port
     from repro.sim.trace import PhaseTracer
 
-__all__ = ["MessageEvent", "ProcessSpan", "RunObserver"]
+__all__ = ["FaultEventRecord", "MessageEvent", "ProcessSpan", "RunObserver"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,17 @@ class ProcessSpan:
     end: float | None = None
 
 
+@dataclass(frozen=True)
+class FaultEventRecord:
+    """One fault-related occurrence: injection, detection, or recovery."""
+
+    time: float
+    kind: str  # "crash", "suspect", "evict", "rejoin", "machine_fail", ...
+    worker: int | None = None
+    machine: int | None = None
+    detail: str = ""
+
+
 class RunObserver:
     """Collects every observable signal of one simulated run."""
 
@@ -63,6 +74,7 @@ class RunObserver:
         self.registry = MetricsRegistry()
         self.messages: list[MessageEvent] = []
         self.processes: list[ProcessSpan] = []
+        self.fault_events: list[FaultEventRecord] = []
         self._live_processes: dict[int, ProcessSpan] = {}
         self._metrics = self.config.metrics
         self._events = self.config.trace_events
@@ -160,6 +172,27 @@ class RunObserver:
                 now, float(total_iterations)
             )
             self.registry.counter(f"w{worker}.iterations").inc()
+
+    # -- faults -----------------------------------------------------------
+    def fault_event(
+        self,
+        *,
+        now: float,
+        kind: str,
+        worker: int | None = None,
+        machine: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """One fault injection/detection/recovery event from the fault
+        controller; counted per kind and kept for the Perfetto trace."""
+        if self._metrics:
+            self.registry.counter(f"faults.{kind}").inc()
+        if self._events:
+            self.fault_events.append(
+                FaultEventRecord(
+                    time=now, kind=kind, worker=worker, machine=machine, detail=detail
+                )
+            )
 
     # -- end of run -------------------------------------------------------
     def finalize(

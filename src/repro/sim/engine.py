@@ -47,7 +47,17 @@ ProcessGen = Generator[Any, Any, Any]
 
 
 class Interrupt(Exception):
-    """Raised inside a process that another process interrupted."""
+    """Raised inside a process that another process interrupted.
+
+    Delivered by :meth:`Process.interrupt`; ``cause`` (the constructor
+    argument) describes why. A process that does not catch it simply
+    terminates cleanly — an uncaught interrupt is a deliberate
+    cancellation, not an error.
+    """
+
+    @property
+    def cause(self):
+        return self.args[0] if self.args else None
 
 
 class Timeout:
@@ -61,7 +71,8 @@ class Timeout:
         self.delay = float(delay)
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
-        engine._schedule(self.delay, lambda: process._resume(None))
+        token = process._token
+        engine._schedule(self.delay, lambda: process._resume(None, token))
 
 
 class Signal:
@@ -92,10 +103,11 @@ class Signal:
                 wake(value)
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        token = process._token
         if self.triggered:
-            engine._schedule(0.0, lambda: process._resume(self.value))
+            engine._schedule(0.0, lambda: process._resume(self.value, token))
         else:
-            self._waiters.append(lambda value: process._resume(value))
+            self._waiters.append(lambda value: process._resume(value, token))
 
 
 class AllOf:
@@ -110,17 +122,20 @@ class AllOf:
         self.signals = list(signals)
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        token = process._token
         pending = [s for s in self.signals if not s.triggered]
         remaining = len(pending)
         if remaining == 0:
-            engine._schedule(0.0, lambda: process._resume([s.value for s in self.signals]))
+            engine._schedule(
+                0.0, lambda: process._resume([s.value for s in self.signals], token)
+            )
             return
         state = {"remaining": remaining}
 
         def on_one(_value: Any) -> None:
             state["remaining"] -= 1
             if state["remaining"] == 0:
-                process._resume([s.value for s in self.signals])
+                process._resume([s.value for s in self.signals], token)
 
         for signal in pending:
             signal._waiters.append(on_one)
@@ -138,14 +153,29 @@ class Store:
     def __init__(self, engine: "Engine") -> None:
         self._engine = engine
         self._items: deque[Any] = deque()
-        self._getters: deque["Process"] = deque()
+        self._getters: deque[tuple["Process", int]] = deque()
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            process = self._getters.popleft()
-            self._engine._schedule(0.0, lambda: process._resume(item))
+        while self._getters:
+            process, token = self._getters.popleft()
+            if process.alive and token == process._token:
+                self._engine._schedule(0.0, lambda: self._deliver(process, token, item))
+                return
+        self._items.append(item)
+
+    def _deliver(self, process: "Process", token: int, item: Any) -> None:
+        # The getter may have been interrupted/killed between the put
+        # and this zero-delay wake-up; re-queue the item instead of
+        # losing it.
+        if process.alive and token == process._token:
+            process._resume(item, token)
         else:
-            self._items.append(item)
+            self.put(item)
+
+    def clear(self) -> None:
+        """Drop all buffered items and cancel blocked getters."""
+        self._items.clear()
+        self._getters.clear()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -161,20 +191,39 @@ class Get:
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
         store = self.store
+        token = process._token
         if store._items:
             item = store._items.popleft()
-            engine._schedule(0.0, lambda: process._resume(item))
+            engine._schedule(0.0, lambda: store._deliver(process, token, item))
         else:
-            store._getters.append(process)
+            store._getters.append((process, token))
+
+
+class _BarrierWait:
+    """Yieldable returned by :meth:`Barrier.wait`."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier") -> None:
+        self.barrier = barrier
+
+    def _subscribe(self, engine: "Engine", process: "Process") -> None:
+        self.barrier._arrive(process)
 
 
 class Barrier:
     """Cyclic barrier over ``parties`` processes.
 
-    Each generation completes when ``parties`` processes have called
+    Each generation completes when ``parties`` processes are blocked in
     :meth:`wait`; all of them resume (FIFO order) and the barrier
     resets for the next generation. ``wait()`` resumes with the
     generation index, letting callers count synchronisation rounds.
+
+    Arrivals are counted at *subscription* time and withdrawn again if
+    the waiter is interrupted or killed, so a dead process never leaks
+    a barrier slot. :meth:`resize` shrinks (or grows) ``parties`` when
+    cluster membership changes, releasing the current generation if the
+    survivors alone now satisfy it.
     """
 
     def __init__(self, engine: "Engine", parties: int) -> None:
@@ -183,28 +232,61 @@ class Barrier:
         self._engine = engine
         self.parties = parties
         self.generation = 0
-        self._current = Signal()
-        self._count = 0
+        self._arrivals: list[tuple["Process", int]] = []
 
-    def wait(self) -> Signal:
-        """Return the signal to yield on for the current generation."""
-        signal = self._current
-        self._count += 1
-        if self._count == self.parties:
-            generation = self.generation
-            self.generation += 1
-            self._count = 0
-            self._current = Signal()
-            signal.trigger(generation, engine=self._engine)
-        return signal
+    def wait(self) -> _BarrierWait:
+        """Return the waitable to yield on for the current generation."""
+        return _BarrierWait(self)
+
+    def _arrive(self, process: "Process") -> None:
+        entry = (process, process._token)
+        self._arrivals.append(entry)
+        process._cancel_wait = lambda: self._discard_entry(entry)
+        if len(self._arrivals) >= self.parties:
+            self._release()
+
+    def _release(self) -> None:
+        generation = self.generation
+        self.generation += 1
+        arrivals, self._arrivals = self._arrivals, []
+        for process, token in arrivals:
+            process._cancel_wait = None
+            self._engine._schedule(
+                0.0, lambda p=process, t=token: p._resume(generation, t)
+            )
+
+    def _discard_entry(self, entry: tuple["Process", int]) -> None:
+        try:
+            self._arrivals.remove(entry)
+        except ValueError:
+            pass
+
+    def discard(self, process: "Process") -> None:
+        """Withdraw a waiter (e.g. one evicted from the cluster)."""
+        self._arrivals = [e for e in self._arrivals if e[0] is not process]
+
+    def resize(self, parties: int) -> None:
+        """Change the party count, releasing waiters if now satisfied."""
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.parties = parties
+        if len(self._arrivals) >= self.parties:
+            self._release()
 
     @property
     def waiting(self) -> int:
-        return self._count
+        return len(self._arrivals)
 
 
 class Process:
-    """A running simulation process wrapping a generator."""
+    """A running simulation process wrapping a generator.
+
+    Every valid wake-up carries the *wait token* captured when the
+    process subscribed to its current waitable; :meth:`interrupt` and
+    :meth:`kill` bump the token, so stale wake-ups (a timeout that
+    fired for a since-interrupted wait, a barrier release racing a
+    crash) are silently dropped instead of resuming a corpse.
+    """
 
     def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
         self._engine = engine
@@ -213,27 +295,105 @@ class Process:
         self.done = Signal()
         self.alive = True
         self.error: BaseException | None = None
+        self._token = 0
+        # Set by waitables that track blocked processes by identity
+        # (currently Barrier); invoked when the wait is abandoned.
+        self._cancel_wait: Callable[[], None] | None = None
 
     # Processes themselves are waitable: `yield other_process`.
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
         self.done._subscribe(engine, process)
 
-    def _resume(self, value: Any) -> None:
+    # -- fault delivery --------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its wait point.
+
+        Delivered through the event queue (never reentrant). Whatever
+        the process is currently blocked on — ``Timeout``, ``Get``,
+        ``Barrier.wait()``, ``AllOf`` — is abandoned; a process that
+        does not catch the exception terminates cleanly.
+        """
         if not self.alive:
             return
+        self._invalidate_wait()
+        token = self._token
+        self._engine._schedule(0.0, lambda: self._throw(Interrupt(cause), token))
+
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process immediately (synchronously).
+
+        Unlike :meth:`interrupt` the generator gets no chance to run on:
+        it is closed (``GeneratorExit`` at the yield point, so
+        ``finally`` blocks still execute) and ``done`` fires with
+        ``None``.
+        """
+        if not self.alive:
+            return
+        self._invalidate_wait()
+        try:
+            self._gen.close()
+        except BaseException as exc:  # noqa: BLE001 - a yield inside finally etc.
+            self.alive = False
+            self.error = exc
+            self._engine._on_process_error(self, exc)
+            return
+        self._finish(None)
+
+    def _invalidate_wait(self) -> None:
+        self._token += 1  # any pending wake-up is now stale
+        if self._cancel_wait is not None:
+            cancel, self._cancel_wait = self._cancel_wait, None
+            cancel()
+
+    # -- resumption ------------------------------------------------------
+    def _resume(self, value: Any, token: int | None = None) -> None:
+        if not self.alive:
+            return
+        if token is not None and token != self._token:
+            return
+        self._token += 1
+        self._cancel_wait = None
         try:
             target = self._gen.send(value)
         except StopIteration as stop:
-            self.alive = False
-            if self._engine._observer is not None:
-                self._engine._observer.process_finished(self, self._engine.now)
-            self.done.trigger(stop.value, engine=self._engine)
+            self._finish(stop.value)
             return
         except BaseException as exc:
             self.alive = False
             self.error = exc
             self._engine._on_process_error(self, exc)
             return
+        self._subscribe_target(target)
+
+    def _throw(self, exc: BaseException, token: int) -> None:
+        if not self.alive or token != self._token:
+            return
+        self._token += 1
+        self._cancel_wait = None
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Uncaught interrupt: deliberate cancellation, clean death.
+            self._finish(None)
+            return
+        except BaseException as err:
+            self.alive = False
+            self.error = err
+            self._engine._on_process_error(self, err)
+            return
+        self._subscribe_target(target)
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        if self._engine._observer is not None:
+            self._engine._observer.process_finished(self, self._engine.now)
+        if not self.done.triggered:
+            self.done.trigger(value, engine=self._engine)
+
+    def _subscribe_target(self, target: Any) -> None:
         subscribe = getattr(target, "_subscribe", None)
         if subscribe is None:
             self.alive = False
@@ -281,7 +441,8 @@ class Engine:
         process = Process(self, gen, name)
         if self._observer is not None:
             self._observer.process_started(process, self.now)
-        self._schedule(0.0, lambda: process._resume(None))
+        token = process._token
+        self._schedule(0.0, lambda: process._resume(None, token))
         return process
 
     def store(self) -> Store:

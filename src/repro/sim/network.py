@@ -99,6 +99,20 @@ class Network:
         self.total_bytes = 0
         self.total_messages = 0
         self._observer = observer
+        # Installed by the fault controller when fault injection is on.
+        # Must expose ``delivery_delay(src, dst, nbytes, now, rto)``
+        # returning extra seconds added to delivery (never negative).
+        self.fault_model = None
+
+    def scale_machine_rate(self, machine: int, fraction: float) -> None:
+        """Degrade (or restore) a machine's NIC to ``fraction`` of the
+        cluster's nominal rate. Bus rate is untouched: link faults are
+        network faults."""
+        if not 0 < fraction:
+            raise ValueError("rate fraction must be positive")
+        rate = self.spec.network_bytes_per_s * fraction
+        self.tx[machine].rate = rate
+        self.rx[machine].rate = rate
 
     def transfer(
         self,
@@ -107,6 +121,7 @@ class Network:
         nbytes: int,
         *,
         tx_done: Signal | None = None,
+        oob: bool = False,
     ) -> Signal:
         """Start a transfer now; returns a signal triggered at delivery.
 
@@ -114,6 +129,13 @@ class Network:
         ``tx_done``, if given, is triggered when the sender's port has
         finished serialising the message — the point at which a
         blocking MPI-style send returns.
+
+        ``oob`` marks an out-of-band control-plane message (heartbeats):
+        it travels the management network, so it pays latency but never
+        queues behind data-plane traffic on the NIC ports. Partitions
+        and outages still apply — the management network of a partitioned
+        machine is unreachable too, which is exactly what lets the
+        failure detector notice.
         """
         if not 0 <= src_machine < self.spec.machines:
             raise ValueError(f"src machine {src_machine} out of range")
@@ -125,6 +147,21 @@ class Network:
         done = Signal()
         self.total_bytes += nbytes
         self.total_messages += 1
+
+        if oob:
+            if src_machine == dst_machine:
+                delay = self.spec.machine.intra_latency_s
+            else:
+                delay = self.spec.network_latency_s
+                if self.fault_model is not None:
+                    rto = 2.0 * self.spec.network_latency_s
+                    delay += self.fault_model.delivery_delay(
+                        src_machine, dst_machine, nbytes, engine.now, rto
+                    )
+            if tx_done is not None:
+                tx_done.trigger(engine=engine)
+            engine._schedule(delay, lambda: done.trigger(engine=engine))
+            return done
 
         if src_machine == dst_machine:
             bus = self.intra[src_machine]
@@ -146,13 +183,24 @@ class Network:
             engine._schedule(end_tx - engine.now, lambda: tx_done.trigger(engine=engine))
         first_bit_arrival = start_tx + self.spec.network_latency_s
 
+        # Fault path: partitions and probabilistic drops manifest as
+        # extra delivery latency (retransmission, TCP-style), never as
+        # silent loss — a lost message would deadlock the synchronous
+        # protocols without any real-world analogue of ARQ to save them.
+        extra = 0.0
+        if self.fault_model is not None:
+            rto = 2.0 * self.spec.network_latency_s + tx.service_time(nbytes)
+            extra = self.fault_model.delivery_delay(
+                src_machine, dst_machine, nbytes, engine.now, rto
+            )
+
         def on_arrival() -> None:
             _, end_rx = rx.reserve(engine.now, nbytes)
             if self._observer is not None:
                 self._observer.link_sample(rx, engine.now)
             engine._schedule(end_rx - engine.now, lambda: done.trigger(engine=engine))
 
-        engine._schedule(first_bit_arrival - engine.now, on_arrival)
+        engine._schedule(first_bit_arrival + extra - engine.now, on_arrival)
         return done
 
     def port_stats(self) -> dict[str, dict[str, float]]:

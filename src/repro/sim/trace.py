@@ -74,6 +74,23 @@ class PhaseTracer:
             raise RuntimeError(f"span {key} ends before it starts")
         self.spans.append(Span(worker=worker, phase=phase, start=start, end=now))
 
+    def flush_open(self, now: float, *, worker: int | None = None) -> None:
+        """Close dangling spans at ``now`` (crashed-worker cleanup).
+
+        A killed process never reaches its ``end`` call; truncating the
+        span at the kill time keeps the breakdown consistent and lets a
+        respawned worker re-open the same phase without tripping the
+        double-open guard.
+        """
+        if not self.enabled:
+            return
+        for key in [k for k in self._open if worker is None or k[0] == worker]:
+            start = self._open.pop(key)
+            if now > start:
+                self.spans.append(
+                    Span(worker=key[0], phase=key[1], start=start, end=now)
+                )
+
     def record(self, worker: int, phase: str, start: float, end: float) -> None:
         """Record a complete span directly (used for wire-time spans
         whose boundaries are known analytically)."""

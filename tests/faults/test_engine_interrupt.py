@@ -1,0 +1,334 @@
+"""Engine-level fault primitives: interrupt, kill, barrier membership.
+
+Property-style coverage of the wait-token scheme: whatever a process is
+blocked on, an interrupt abandons exactly that wait (no stale wake-up
+ever resumes the process), and kill unwinds ``finally`` blocks.
+"""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    Barrier,
+    Engine,
+    Get,
+    Interrupt,
+    Signal,
+    Timeout,
+)
+
+
+class TestInterruptWhileBlocked:
+    def test_interrupt_in_timeout(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield Timeout(100.0)
+                log.append("woke")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, eng.now))
+
+        def attacker(p):
+            yield Timeout(1.0)
+            p.interrupt("crash")
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()
+        # The stale timeout wake-up at t=100 still pops (as a no-op) but
+        # must not resurrect the process: exactly one log entry.
+        assert log == [("interrupted", "crash", 1.0)]
+
+    def test_interrupt_in_get(self):
+        eng = Engine()
+        store = eng.store()
+        log = []
+
+        def victim():
+            try:
+                yield Get(store)
+                log.append("got")
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(p):
+            yield Timeout(1.0)
+            p.interrupt()
+            yield Timeout(1.0)
+            store.put("late")  # nobody is waiting any more
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()
+        assert log == ["interrupted"]
+        assert len(store) == 1  # the late item stays queued
+
+    def test_interrupted_getter_does_not_swallow_item(self):
+        """An item scheduled for delivery to a since-interrupted getter
+        is re-queued, not lost."""
+        eng = Engine()
+        store = eng.store()
+        log = []
+
+        def victim():
+            try:
+                yield Get(store)
+                log.append("victim-got")
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(p):
+            store.put("item")  # schedules delivery to the victim
+            p.interrupt()  # ...which dies before the delivery event
+            yield Timeout(0.1)
+            msg = yield Get(store)
+            log.append(("rescued", msg))
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()
+        assert log == ["interrupted", ("rescued", "item")]
+
+    def test_interrupt_in_barrier_wait(self):
+        eng = Engine()
+        barrier = Barrier(eng, parties=3)
+        log = []
+
+        def waiter(i):
+            try:
+                gen = yield barrier.wait()
+                log.append((i, gen, eng.now))
+            except Interrupt:
+                log.append((i, "interrupted"))
+
+        procs = [eng.spawn(waiter(i)) for i in range(2)]
+
+        def attacker():
+            yield Timeout(1.0)
+            procs[0].interrupt()
+            barrier.resize(1)  # survivor alone satisfies the barrier
+
+        eng.spawn(attacker())
+        eng.run()
+        assert (0, "interrupted") in log
+        assert (1, 0, 1.0) in log
+
+    def test_interrupt_in_allof(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield AllOf([Signal(), Signal()])  # never triggered
+                log.append("woke")
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(p):
+            yield Timeout(1.0)
+            p.interrupt()
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()
+        assert log == ["interrupted"]
+
+    def test_uncaught_interrupt_is_clean_death(self):
+        eng = Engine()
+
+        def victim():
+            yield Timeout(100.0)
+
+        def attacker(p):
+            yield Timeout(1.0)
+            p.interrupt("die")
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()  # must not raise
+        assert not p.alive
+        assert p.error is None
+        assert p.done.triggered
+
+    def test_interrupt_dead_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield Timeout(0.1)
+
+        p = eng.spawn(quick())
+        eng.run()
+        assert not p.alive
+        p.interrupt()  # no exception, no effect
+        eng.run()
+        assert p.error is None
+
+
+class TestKill:
+    def test_kill_runs_finally(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield Timeout(100.0)
+            finally:
+                log.append("cleanup")
+
+        def attacker(p):
+            yield Timeout(1.0)
+            p.kill()
+            log.append("killed")
+
+        p = eng.spawn(victim())
+        eng.spawn(attacker(p))
+        eng.run()
+        # kill is synchronous: cleanup precedes the attacker's next line
+        assert log == ["cleanup", "killed"]
+        assert not p.alive and p.error is None
+
+    def test_killed_barrier_waiter_releases_slot(self):
+        eng = Engine()
+        barrier = Barrier(eng, parties=2)
+        log = []
+
+        def waiter(i):
+            gen = yield barrier.wait()
+            log.append((i, gen))
+
+        doomed = eng.spawn(waiter(0))
+
+        def script():
+            yield Timeout(1.0)
+            doomed.kill()
+            assert barrier.waiting == 0  # the dead waiter left no count
+            barrier.resize(1)  # nobody waiting: nothing released yet
+            eng.spawn(waiter(1))
+
+        eng.spawn(script())
+        eng.run()
+        assert log == [(1, 0)]
+
+
+class TestBarrierMembership:
+    def test_resize_releases_current_generation(self):
+        eng = Engine()
+        barrier = Barrier(eng, parties=4)
+        woke = []
+
+        def waiter(i):
+            gen = yield barrier.wait()
+            woke.append((i, gen))
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+
+        def shrink():
+            yield Timeout(1.0)
+            barrier.resize(3)
+
+        eng.spawn(shrink())
+        eng.run()
+        assert sorted(woke) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_cyclic_reuse_after_resize(self):
+        eng = Engine()
+        barrier = Barrier(eng, parties=2)
+        rounds = []
+
+        def worker(i):
+            for _ in range(2):
+                gen = yield barrier.wait()
+                rounds.append((gen, i))
+
+        eng.spawn(worker(0))
+        eng.spawn(worker(1))
+        eng.run()
+        assert sorted(rounds) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_discard_removes_specific_waiter(self):
+        eng = Engine()
+        barrier = Barrier(eng, parties=2)
+        woke = []
+
+        def waiter(i):
+            gen = yield barrier.wait()
+            woke.append(i)
+
+        p0 = eng.spawn(waiter(0))
+
+        def script():
+            yield Timeout(1.0)
+            barrier.discard(p0)
+            assert barrier.waiting == 0
+            p0.kill()
+            eng.spawn(waiter(1))
+            eng.spawn(waiter(2))
+
+        eng.spawn(script())
+        eng.run()
+        assert sorted(woke) == [1, 2]
+
+    def test_rejects_nonpositive_parties(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            Barrier(eng, parties=0)
+        barrier = Barrier(eng, parties=2)
+        with pytest.raises(ValueError):
+            barrier.resize(0)
+
+
+class TestDeterminismWithFaults:
+    def test_interrupt_schedule_is_deterministic(self):
+        """The same interrupt script yields the same event trace twice."""
+
+        def run_once():
+            eng = Engine()
+            trace = []
+
+            def worker(i):
+                try:
+                    while True:
+                        yield Timeout(0.5 + i * 0.1)
+                        trace.append(("tick", i, round(eng.now, 6)))
+                except Interrupt:
+                    trace.append(("int", i, round(eng.now, 6)))
+
+            procs = [eng.spawn(worker(i)) for i in range(3)]
+
+            def chaos():
+                yield Timeout(1.05)
+                procs[1].interrupt()
+                yield Timeout(0.5)
+                procs[0].kill()
+
+            eng.spawn(chaos())
+            eng.run(until=3.0)
+            return trace
+
+        assert run_once() == run_once()
+
+    def test_fifo_tie_break_preserved_under_interrupt(self):
+        """Two processes resumed at the same instant keep spawn order
+        even when a third is interrupted between them."""
+        eng = Engine()
+        order = []
+
+        def worker(i):
+            try:
+                yield Timeout(1.0)
+                order.append(i)
+            except Interrupt:
+                order.append(("int", i))
+
+        procs = [eng.spawn(worker(i)) for i in range(3)]
+
+        def chaos():
+            yield Timeout(0.5)
+            procs[1].interrupt()
+
+        eng.spawn(chaos())
+        eng.run()
+        assert order == [("int", 1), 0, 2]

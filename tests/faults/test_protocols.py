@@ -1,0 +1,158 @@
+"""Failure-aware protocol acceptance: every algorithm survives a crash.
+
+The ISSUE acceptance criteria, one test each:
+
+* a mid-run crash lets BSP/SSP/AR-SGD *complete* via eviction (the
+  barrier/ring shrinks — no deadlock);
+* ASP/EASGD/GoSGD/AD-PSGD keep training with the survivors;
+* crash-then-rejoin brings the worker back from a restored snapshot.
+
+Crash times are fractions of each algorithm's own fault-free runtime so
+the fault always lands mid-run regardless of protocol speed.
+"""
+
+import pytest
+
+from repro.core.runner import execute_run
+from repro.faults.config import FaultConfig, FaultEvent
+
+from tests.conftest import small_full_config, small_timing_config
+
+SYNC_ALGORITHMS = ("bsp", "ssp", "ar-sgd")
+ASYNC_ALGORITHMS = ("asp", "easgd", "gosgd", "ad-psgd")
+ALL_ALGORITHMS = SYNC_ALGORITHMS + ASYNC_ALGORITHMS
+
+NUM_WORKERS = 8
+CRASHED = NUM_WORKERS - 1
+
+# Fast failure detection sized for the short test runs.
+DETECTION = dict(
+    heartbeat_interval=0.01,
+    heartbeat_timeout=0.02,
+    backoff_factor=1.0,
+    max_suspect_rounds=0,
+)
+
+_baseline_cache: dict[str, float] = {}
+
+
+def baseline_time(algorithm: str) -> float:
+    """Fault-free measured_time, cached across tests in this module."""
+    if algorithm not in _baseline_cache:
+        result = execute_run(small_timing_config(algorithm))
+        _baseline_cache[algorithm] = result.measured_time
+    return _baseline_cache[algorithm]
+
+
+def crash_run(algorithm: str, *, rejoin: bool = False):
+    t0 = baseline_time(algorithm)
+    event = FaultEvent(
+        time=0.4 * t0,
+        kind="crash",
+        worker=CRASHED,
+        rejoin_after=0.2 * t0 if rejoin else None,
+    )
+    cfg = small_timing_config(
+        algorithm, faults=FaultConfig(events=(event,), **DETECTION)
+    )
+    return execute_run(cfg)
+
+
+@pytest.mark.parametrize("algorithm", SYNC_ALGORITHMS)
+def test_sync_protocols_complete_via_eviction(algorithm):
+    result = crash_run(algorithm)
+    faults = result.metadata["faults"]
+    assert faults["events_applied"] == 1
+    evicted = [e["worker"] for e in faults["evictions"]]
+    assert evicted == [CRASHED]  # exactly the crashed worker, nobody else
+    assert faults["final_live_workers"] == list(range(NUM_WORKERS - 1))
+    # The run completed (the shrunk barrier/ring still makes progress).
+    assert result.measured_time > 0
+    assert result.throughput > 0
+
+
+@pytest.mark.parametrize("algorithm", ASYNC_ALGORITHMS)
+def test_async_protocols_continue_with_survivors(algorithm):
+    result = crash_run(algorithm)
+    faults = result.metadata["faults"]
+    evicted = [e["worker"] for e in faults["evictions"]]
+    assert evicted == [CRASHED]
+    assert faults["final_live_workers"] == list(range(NUM_WORKERS - 1))
+    assert result.throughput > 0
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_crash_then_rejoin_restores_full_membership(algorithm):
+    result = crash_run(algorithm, rejoin=True)
+    faults = result.metadata["faults"]
+    assert [e["worker"] for e in faults["evictions"]] == [CRASHED]
+    assert [r["worker"] for r in faults["rejoins"]] == [CRASHED]
+    assert faults["final_live_workers"] == list(range(NUM_WORKERS))
+    assert result.throughput > 0
+
+
+def test_crash_costs_throughput_rejoin_recovers_it():
+    """Over a long enough window a crash costs throughput and a rejoin
+    wins part of it back (short windows are dominated by the two
+    reconfiguration pauses, so measure 20 iterations)."""
+
+    def run(faults=None):
+        return execute_run(
+            small_timing_config("bsp", measure_iters=20, faults=faults)
+        )
+
+    base = run()
+    t0 = base.measured_time
+
+    def faulted(rejoin):
+        event = FaultEvent(
+            time=0.3 * t0,
+            kind="crash",
+            worker=CRASHED,
+            rejoin_after=0.15 * t0 if rejoin else None,
+        )
+        return run(FaultConfig(events=(event,), **DETECTION)).throughput
+
+    crashed = faulted(rejoin=False)
+    rejoined = faulted(rejoin=True)
+    assert crashed < base.throughput  # losing a worker shows up
+    assert crashed < rejoined < base.throughput  # rejoin claws some back
+
+
+def test_full_mode_rejoin_restores_snapshot_and_converges():
+    """Full (statistical) mode: the rejoiner restores a checkpoint and
+    the run still trains to a sensible accuracy (same well-separated
+    blobs the fault-free algorithm tests converge on)."""
+
+    def blobs_cfg(**overrides):
+        return small_full_config(
+            "bsp",
+            epochs=4.0,
+            dataset_name="gaussian_blobs",
+            dataset_kwargs=dict(
+                num_samples=400, num_classes=4, num_features=8, noise=0.5
+            ),
+            model_kwargs=dict(in_features=8, hidden=(16,), num_classes=4),
+            **overrides,
+        )
+
+    t0 = execute_run(blobs_cfg()).total_virtual_time
+    faults = FaultConfig(
+        events=(
+            FaultEvent(
+                time=0.3 * t0, kind="crash", worker=3, rejoin_after=0.2 * t0
+            ),
+        ),
+        heartbeat_interval=0.002,
+        heartbeat_timeout=0.01,
+        backoff_factor=1.5,
+        max_suspect_rounds=1,
+    )
+    history = execute_run(blobs_cfg(faults=faults))
+    summary = history.metadata["faults"]
+    assert [e["worker"] for e in summary["evictions"]] == [3]
+    assert [r["worker"] for r in summary["rejoins"]] == [3]
+    assert summary["final_live_workers"] == [0, 1, 2, 3]
+    # The rejoiner restored a snapshot (its iteration counter moved on).
+    assert summary["rejoins"][0]["iterations"] > 0
+    assert history.final_test_accuracy > 0.6

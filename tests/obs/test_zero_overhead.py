@@ -45,6 +45,38 @@ class TestFingerprintStability:
         for make, expected in PINNED.values():
             assert config_fingerprint(make()) == expected
 
+    def test_faults_none_is_omitted_from_fingerprint(self):
+        """``faults=None`` (the default) must hash identically to a
+        config minted before the faults field existed — otherwise the
+        fault-injection PR silently invalidates every cached sweep."""
+        make, expected = PINNED["timing"]
+        cfg = make()
+        assert cfg.faults is None
+        assert config_fingerprint(cfg) == expected
+
+    def test_fault_config_changes_fingerprint(self):
+        from dataclasses import replace
+
+        from repro.faults.config import FaultConfig, FaultEvent
+
+        make, expected = PINNED["timing"]
+        faulted = replace(
+            make(),
+            faults=FaultConfig(
+                events=(FaultEvent(time=1.0, kind="crash", worker=0),)
+            ),
+        )
+        fp = config_fingerprint(faulted)
+        assert fp != expected
+        # ...and the schedule itself is part of the address.
+        refaulted = replace(
+            make(),
+            faults=FaultConfig(
+                events=(FaultEvent(time=2.0, kind="crash", worker=0),)
+            ),
+        )
+        assert config_fingerprint(refaulted) != fp
+
 
 class TestResultIdentity:
     def test_observer_absent_unless_enabled(self):
