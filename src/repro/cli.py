@@ -15,6 +15,7 @@ Usage::
     python -m repro trace fig3 --out fig3_trace.json
     python -m repro run fig3 --trace-out fig3_trace.json
     python -m repro faults [--workers 8] [--scenarios crash,partition]
+    python -m repro byzantine [--byzantine 1] [--aggregators mean,median,krum]
     python -m repro train bsp --fault-spec faults.json --fault-seed 3
     python -m repro run fig2 --fault-spec faults.json
 
@@ -32,7 +33,11 @@ after every sweep.
 ``faults`` runs the fault-tolerance grid: named failure scenarios
 (crash, crash-rejoin, NIC degrade, partition, packet loss) against
 every algorithm, reporting throughput retained vs the fault-free
-baseline. ``--fault-spec FILE`` on ``run``/``train`` injects a
+baseline. ``byzantine`` runs the Byzantine-resilience grid: hostile
+workers sending sign-flipped amplified gradients against every
+algorithm, one column per robust aggregation rule, reporting accuracy
+retained vs the attack-free baseline. ``--fault-spec FILE`` on
+``run``/``train`` injects a
 JSON-specified fault schedule into those runs instead
 (:meth:`repro.faults.FaultConfig.save` writes the format); the fault
 summary lands in the ``--output`` JSON under ``"faults"``.
@@ -142,6 +147,37 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--no-cache", action="store_true")
     faults.add_argument("--cache-dir", type=str, default=None)
 
+    byz = sub.add_parser(
+        "byzantine",
+        help="Byzantine-resilience grid: robust aggregators x algorithms",
+    )
+    byz.add_argument(
+        "--algorithms",
+        type=str,
+        default=None,
+        help="comma-separated algorithm names (default: all seven)",
+    )
+    byz.add_argument(
+        "--aggregators",
+        type=str,
+        default=None,
+        help="comma-separated aggregation rules (default: mean,median,trimmed_mean,krum)",
+    )
+    byz.add_argument("--workers", type=int, default=8)
+    byz.add_argument(
+        "--byzantine", type=int, default=1, help="number of hostile workers"
+    )
+    byz.add_argument(
+        "--scale", type=float, default=10.0, help="attack amplification (-scale*grad)"
+    )
+    byz.add_argument("--epochs", type=float, default=20.0)
+    byz.add_argument("--seed", type=int, default=0)
+    byz.add_argument("--fault-seed", type=int, default=0)
+    byz.add_argument("--output", type=str, default=None)
+    byz.add_argument("--jobs", type=int, default=None)
+    byz.add_argument("--no-cache", action="store_true")
+    byz.add_argument("--cache-dir", type=str, default=None)
+
     trace = sub.add_parser(
         "trace", help="export a Perfetto trace of one representative run"
     )
@@ -208,6 +244,35 @@ def _run_faults_cmd(args: argparse.Namespace) -> tuple[str, Any]:
     else:
         kwargs["algorithms"] = FAULT_ALGORITHMS
     result = run_faults(**kwargs)
+    return result.render(), result
+
+
+def _run_byzantine_cmd(args: argparse.Namespace) -> tuple[str, Any]:
+    from repro.experiments.byzantine import (
+        DEFAULT_AGGREGATORS,
+        ROBUST_ALGORITHMS,
+        run_byzantine,
+    )
+
+    kwargs: dict[str, Any] = dict(
+        num_workers=args.workers,
+        byzantine=args.byzantine,
+        scale=args.scale,
+        epochs=args.epochs,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+    )
+    kwargs["algorithms"] = (
+        tuple(a for a in args.algorithms.split(",") if a)
+        if args.algorithms
+        else ROBUST_ALGORITHMS
+    )
+    kwargs["aggregators"] = (
+        tuple(a for a in args.aggregators.split(",") if a)
+        if args.aggregators
+        else DEFAULT_AGGREGATORS
+    )
+    result = run_byzantine(**kwargs)
     return result.render(), result
 
 
@@ -371,7 +436,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     sweep_stats = None
     _install_fault_spec(args)
-    if args.command in ("run", "faults"):
+    if args.command in ("run", "faults", "byzantine"):
         from repro.experiments.executor import SweepExecutor, set_default_executor
 
         executor = SweepExecutor(
@@ -383,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
         set_default_executor(executor)
         if args.command == "faults":
             text, result = _run_faults_cmd(args)
+        elif args.command == "byzantine":
+            text, result = _run_byzantine_cmd(args)
         else:
             text, result = _run_experiment(args)
         if executor.total_stats.total:
@@ -409,7 +476,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             _instrumented_run(cfg, args.trace_out, f"repro run {args.experiment}")
     if args.output:
-        if args.command in ("run", "faults") and sweep_stats is not None:
+        if args.command in ("run", "faults", "byzantine") and sweep_stats is not None:
             payload: Any = {"result": result, "sweep_stats": sweep_stats.to_dict()}
         else:
             payload = result

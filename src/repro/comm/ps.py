@@ -105,6 +105,9 @@ class PSShard(Node):
             if init_params is not None
             else None
         )
+        # Robust asynchronous folds: latest complete gradient per
+        # worker (the sliding window the rule is evaluated over).
+        self._grad_window: dict[int, np.ndarray] = {}
         if init_params is not None:
             self.params = assignment.gather(init_params)
             mask = assignment.gather(decay_mask.astype(np.float64)).astype(bool) if (
@@ -194,6 +197,32 @@ class PSShard(Node):
             assert self._last_modified is not None
             # A momentum step moves every coordinate.
             self._last_modified.fill(self._version)
+
+    def fold_gradient(self, wid: int, acc: np.ndarray | None) -> None:
+        """Fold one worker's complete gradient set asynchronously.
+
+        Baseline: apply the gradient directly at the fold rate. With a
+        robust rule active, the shard instead keeps a sliding window of
+        the latest complete gradient per worker and applies the rule's
+        aggregate of that window — an arriving gradient only moves the
+        parameters through whatever the rule lets past. The aggregate
+        is mean-scale, and each arrival triggers one fold, so over one
+        logical round of N arrivals the parameters move by roughly one
+        full-rate robust-mean step, matching the baseline's N
+        single-gradient folds.
+        """
+        rt = self.runtime
+        robust = (
+            rt.robust if rt.robust is not None and rt.robust.centralized_active else None
+        )
+        if robust is None:
+            self.apply_gradient(acc, rt.fold_lr())
+            return
+        if acc is not None:
+            self._grad_window[wid] = acc
+        rows = dict(self._grad_window)
+        agg = robust.aggregate(rows, site="ps") if rows else None
+        self.apply_gradient(agg, rt.fold_lr())
 
     def apply_entry_gradient(self, msg: Message, lr: float) -> None:
         """Plain (momentum-free) SGD step on one entry's coordinates.
@@ -311,6 +340,9 @@ class PSShard(Node):
         }
         self._obs_last_pull = {
             w: v for w, v in self._obs_last_pull.items() if w in keep
+        }
+        self._grad_window = {
+            w: g for w, g in self._grad_window.items() if w in keep
         }
 
     # -- serve loop --------------------------------------------------------

@@ -68,6 +68,10 @@ def _active_comm(
         msg = yield slot.node.recv("xrep")
         tracer.end(slot.wid, "global_agg", rt.engine.now)
         if slot.comp is not None and msg.payload is not None:
+            if rt.robust is not None and not rt.robust.screen_peer(
+                slot, msg.payload, msg.meta["worker"], "adpsgd"
+            ):
+                continue  # drop the poisoned half of the exchange
             slot.comp.set_params(0.5 * (slot.comp.get_params() + msg.payload))
 
 
@@ -86,6 +90,10 @@ def _passive_comm(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
             trace_worker=msg.meta["worker"],
         )
         if slot.comp is not None and msg.payload is not None:
+            if rt.robust is not None and not rt.robust.screen_peer(
+                slot, msg.payload, msg.meta["worker"], "adpsgd"
+            ):
+                continue
             slot.comp.set_params(0.5 * (slot.comp.get_params() + msg.payload))
 
 

@@ -22,7 +22,7 @@ import numpy as np
 from repro.comm.collectives import chunk_slices, ring_allreduce_plan, ring_neighbors
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
-from repro.core.worker import WorkerSlot
+from repro.core.worker import WorkerSlot, produce_gradient
 from repro.optimizations.dgc import SparseGradient
 from repro.sim.engine import AllOf, Signal, Timeout
 
@@ -127,6 +127,50 @@ def _allgather_sparse(
     return total
 
 
+def _allgather_dense(
+    rt: Runtime, slot: WorkerSlot, ring: list[int], grad: np.ndarray | None
+) -> Generator[Any, Any, "dict[int, np.ndarray] | None"]:
+    """Ring allgather of full per-worker gradients (robust path).
+
+    A robust rule needs the individual contributions, so the
+    reduce-scatter — which only ever materialises sums — is replaced
+    by circulating each worker's whole gradient around the ring:
+    world−1 steps of full-model blocks, O(N·M) on the wire instead of
+    O(M). That is the bandwidth price of Byzantine robustness in a
+    collective; every replica ends with the same row set and computes
+    the identical aggregate. Returns ``{wid: gradient}`` or ``None``
+    in timing mode.
+    """
+    world = len(ring)
+    rows: dict[int, np.ndarray] = {} if grad is None else {slot.wid: grad}
+    if world == 1:
+        return rows or None
+    _, right = ring_neighbors(ring.index(slot.wid), world)
+    right_node = rt.workers[ring[right]].node
+    model_bytes = max(rt.total_elements * rt.sharding.bytes_per_param, 1)
+    block_wid: int = slot.wid
+    block: np.ndarray | None = grad
+    for _ in range(world - 1):
+        slot.node.send(
+            right_node,
+            "ring:robust",
+            nbytes=model_bytes,
+            payload=block.copy() if block is not None else None,
+            meta={"worker": block_wid},
+            trace_worker=slot.wid,
+        )
+        msg = yield slot.node.recv("ring:robust")
+        block_wid = msg.meta["worker"]
+        block = (
+            np.asarray(msg.payload, dtype=np.float64)
+            if msg.payload is not None
+            else None
+        )
+        if block is not None:
+            rows[block_wid] = block
+    return rows or None
+
+
 def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[Any, Any, None]:
     tracer = rt.tracer
     entries = rt.comm_plan.entries
@@ -134,9 +178,28 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
     world = len(ring)
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
-        grad = slot.comp.gradient() if slot.comp is not None else None
+        grad = produce_gradient(rt, slot)
+        # Robust rules replace the reduce rings with a dense allgather
+        # (individual rows are required); DGC keeps its sparse path —
+        # sparse rows are not comparable, so the two are exclusive.
+        robust = (
+            rt.robust
+            if rt.robust is not None and rt.robust.centralized_active and not dgc_on
+            else None
+        )
 
-        if dgc_on:
+        if robust is not None:
+            tracer.begin(slot.wid, "compute", rt.engine.now)
+            yield Timeout(duration)
+            tracer.end(slot.wid, "compute", rt.engine.now)
+            tracer.begin(slot.wid, "global_agg", rt.engine.now)
+            rows = yield from _allgather_dense(rt, slot, ring, grad)
+            tracer.end(slot.wid, "global_agg", rt.engine.now)
+            if slot.comp is not None and rows:
+                agg = robust.aggregate(rows, site="arsgd")
+                if agg is not None:
+                    slot.comp.apply_gradient(agg, rt.lr_at_round(slot.iterations))
+        elif dgc_on:
             tracer.begin(slot.wid, "compute", rt.engine.now)
             yield Timeout(duration)
             tracer.end(slot.wid, "compute", rt.engine.now)

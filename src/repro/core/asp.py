@@ -34,6 +34,7 @@ from repro.core.worker import (
     apply_reply_payload,
     collect_shard_replies,
     compute_iteration,
+    produce_gradient,
     send_gradient_plan,
 )
 
@@ -57,8 +58,14 @@ class ASPShard(PSShard):
 
     def _layerwise(self) -> bool:
         # Per-layer apply/reply only for plain wait-free BP; DGC payloads
-        # are already tiny, so the full-set + delta-pull path stays.
-        return self.runtime.comm_plan.wait_free and self.runtime.dgc_config is None
+        # are already tiny, so the full-set + delta-pull path stays. A
+        # robust rule also forces full-set folds: the rule needs whole
+        # gradients to compare, so wait-free ASP degrades to per-worker
+        # full-set application under robust aggregation.
+        rt = self.runtime
+        if rt.robust is not None and rt.robust.centralized_active:
+            return False
+        return rt.comm_plan.wait_free and rt.dgc_config is None
 
     def handle(self, msg: Message) -> Generator[Any, Any, None]:
         wid = msg.meta["worker"]
@@ -79,7 +86,7 @@ class ASPShard(PSShard):
             yield self.agg_delay(msg.nbytes)
             return
         yield self.agg_delay(msg.nbytes)
-        self.apply_gradient(acc, self.runtime.fold_lr())
+        self.fold_gradient(wid, acc)
         self.reply_params(
             self.runtime.workers[wid].node, meta={"trace_worker": wid}
         )
@@ -87,7 +94,11 @@ class ASPShard(PSShard):
 
 def _asp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
     tracer = rt.tracer
-    layerwise = rt.comm_plan.wait_free and rt.dgc_config is None
+    layerwise = (
+        rt.comm_plan.wait_free
+        and rt.dgc_config is None
+        and not (rt.robust is not None and rt.robust.centralized_active)
+    )
     expected_replies = len(rt.comm_plan.entries) if layerwise else rt.sharding.num_shards
 
     if layerwise:
@@ -121,7 +132,7 @@ def _asp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
                     outstanding -= msg.nbytes
                 tracer.end(slot.wid, "global_agg", rt.engine.now)
             duration = rt.compute_model.iteration_time(slot.wid)
-            grad = slot.comp.gradient() if slot.comp is not None else None
+            grad = produce_gradient(rt, slot)
             yield from send_gradient_plan(
                 rt,
                 slot,
@@ -137,7 +148,7 @@ def _asp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
     while not rt.stopping:
         if rt.comm_plan.wait_free:
             duration = rt.compute_model.iteration_time(slot.wid)
-            grad = slot.comp.gradient() if slot.comp is not None else None
+            grad = produce_gradient(rt, slot)
             yield from send_gradient_plan(
                 rt,
                 slot,

@@ -32,7 +32,12 @@ from repro.comm.messages import Message
 from repro.comm.ps import PSShard
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
-from repro.core.worker import WorkerSlot, apply_reply_payload, send_gradient_plan
+from repro.core.worker import (
+    WorkerSlot,
+    apply_reply_payload,
+    produce_gradient,
+    send_gradient_plan,
+)
 from repro.sim.engine import Get, Timeout
 
 __all__ = ["BSP", "BSPShard", "aggregation_groups"]
@@ -68,7 +73,16 @@ class BSPShard(PSShard):
             # Per round: membership eviction may have shrunk the leader
             # count since the previous round.
             expected = self.num_leaders * self.entries_per_sender
+            # Robust path: keep one accumulator per leader so the rule
+            # sees individual contributions; baseline keeps the single
+            # running sum (bit-identical arithmetic).
+            robust = (
+                rt.robust
+                if rt.robust is not None and rt.robust.centralized_active
+                else None
+            )
             acc: np.ndarray | None = None
+            by_wid: dict[int, np.ndarray | None] = {}
             leaders: list[int] = []
             first_arrival: float | None = None
             for _ in range(expected):
@@ -79,8 +93,11 @@ class BSPShard(PSShard):
                     )
                 if first_arrival is None:
                     first_arrival = rt.engine.now
-                acc = self.accumulate_entry(acc, msg)
                 wid = msg.meta["worker"]
+                if robust is not None:
+                    by_wid[wid] = self.accumulate_entry(by_wid.get(wid), msg)
+                else:
+                    acc = self.accumulate_entry(acc, msg)
                 if wid not in leaders:
                     leaders.append(wid)
                 yield self.agg_delay(msg.nbytes)
@@ -90,7 +107,10 @@ class BSPShard(PSShard):
             # waiting at the PS (the 70 % the paper measures, §VI-C).
             if first_arrival is not None:
                 rt.tracer.record(-1, "agg_wait", first_arrival, rt.engine.now)
-            if acc is not None:
+            if robust is not None:
+                rows = {w: r for w, r in by_wid.items() if r is not None}
+                acc = robust.aggregate(rows, site="ps") if rows else None
+            elif acc is not None:
                 # Leaders forward group means; averaging them over the
                 # leaders yields the global mean gradient.
                 acc /= self.num_leaders
@@ -109,7 +129,7 @@ def _peer_worker(
     entries = rt.comm_plan.entries
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
-        grad = slot.comp.gradient() if slot.comp is not None else None
+        grad = produce_gradient(rt, slot)
         tracer.begin(slot.wid, "compute", rt.engine.now)
         elapsed = 0.0
         for idx, entry in enumerate(entries):
@@ -186,7 +206,7 @@ def _leader_worker(
     dgc_on = rt.dgc_config is not None
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
-        grad = slot.comp.gradient() if slot.comp is not None else None
+        grad = produce_gradient(rt, slot)
         rt.spawn(
             _leader_self_feed(rt, slot, grad, duration),
             name=f"bsp-feed-w{slot.wid}",

@@ -43,10 +43,19 @@ class EASGDShard(PSShard):
         reply_payload = None
         if self.params is not None and msg.payload is not None:
             x_i = np.asarray(msg.payload, dtype=np.float64)
-            diff = alpha * (x_i - self.params)
-            x_i_new = x_i - diff
-            self.params += diff
-            reply_payload = x_i_new
+            robust = self.runtime.robust
+            if robust is not None and not robust.screen_peer(
+                None, x_i, wid, "easgd", reference=self.params
+            ):
+                # Rejected: the center ignores the outlier, and the
+                # worker gets its own parameters back unchanged (no
+                # elastic pull toward a poisoned center either).
+                reply_payload = x_i
+            else:
+                diff = alpha * (x_i - self.params)
+                x_i_new = x_i - diff
+                self.params += diff
+                reply_payload = x_i_new
         self.updates_applied += 1
         self.send(
             self.runtime.workers[wid].node,

@@ -41,6 +41,18 @@ def _gosgd_worker(
         while slot.node.pending("gossip"):
             msg = yield slot.node.recv("gossip")
             local = slot.comp.get_params() if slot.comp is not None else None
+            if (
+                rt.robust is not None
+                and msg.payload is not None
+                and not rt.robust.screen_peer(
+                    slot, msg.payload, msg.meta["worker"], "gosgd", reference=local
+                )
+            ):
+                # Absorb the shipped weight but drop the poisoned
+                # parameters: the push-sum total-weight invariant must
+                # survive the rejection or the cluster average drifts.
+                state.weight += msg.meta["weight"]
+                continue
             merged = gossip_merge(msg.payload, msg.meta["weight"], state, local)
             if slot.comp is not None and merged is not None:
                 slot.comp.set_params(merged)

@@ -41,6 +41,7 @@ from repro.nn.zoo import ModelProfile, mini_profile_from_model, resnet50_profile
 from repro.obs.config import ObsConfig
 from repro.obs.recorder import RunObserver
 from repro.optimizations.dgc import DGCCompressor, DGCConfig
+from repro.robust.config import RobustConfig
 from repro.optimizations.sharding import ShardingPlan, make_sharding_plan
 from repro.optimizations.waitfree import CommPlan, CommPlanEntry, make_comm_plan
 from repro.sim.cluster import ClusterSpec, paper_cluster
@@ -117,6 +118,12 @@ class RunConfig:
     # Omitted from the cache fingerprint when None so every pre-fault
     # content address stays valid.
     faults: FaultConfig | None = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
+
+    # Byzantine-robust aggregation / guards (repro.robust). None =
+    # unprotected, zero-overhead; same omit-if-none discipline.
+    robust: RobustConfig | None = field(
         default=None, metadata={"fingerprint": "omit-if-none"}
     )
 
@@ -236,6 +243,8 @@ class Runtime:
         # Fault controller; stays None on the fault-free path so every
         # failure-awareness hook is a single `is not None` check.
         self.faults = None
+        # Robust-aggregation layer; same discipline (None = unprotected).
+        self.robust = None
         # Pre-computed (shard, label) -> flat ranges for comm entries.
         self._entry_ranges: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
         self._build_entry_ranges()
@@ -376,6 +385,8 @@ class Runtime:
             self.obs.iteration_sample(
                 slot.wid, self.engine.now, self.sample_clock.total_iterations
             )
+        if self.robust is not None:
+            self.robust.on_iteration(slot)
         if self._iteration_callback is not None:
             self._iteration_callback(slot)
 
@@ -564,6 +575,14 @@ class DistributedRunner:
                 self.runtime, self.algorithm, cfg.faults
             )
             self.runtime.faults = self.fault_controller
+        self.robust_runtime = None
+        if cfg.robust is not None:
+            from repro.robust.runtime import RobustRuntime
+
+            self.robust_runtime = RobustRuntime(
+                self.runtime, self.algorithm, cfg.robust
+            )
+            self.runtime.robust = self.robust_runtime
         self.algorithm.setup(self.runtime)
         if self.fault_controller is not None:
             self.fault_controller.start()
@@ -655,6 +674,8 @@ class DistributedRunner:
             )
             if self.fault_controller is not None:
                 self._history.metadata["faults"] = self.fault_controller.summary()
+            if self.robust_runtime is not None:
+                self._history.metadata["robust"] = self.robust_runtime.summary()
             return self._history
         if self._measured is None:
             detail = ""
@@ -686,4 +707,6 @@ class DistributedRunner:
         )
         if self.fault_controller is not None:
             result.metadata["faults"] = self.fault_controller.summary()
+        if self.robust_runtime is not None:
+            result.metadata["robust"] = self.robust_runtime.summary()
         return result

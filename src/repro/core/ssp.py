@@ -33,6 +33,7 @@ from repro.core.worker import (
     WorkerSlot,
     apply_reply_payload,
     compute_iteration,
+    produce_gradient,
     send_gradient_plan,
 )
 
@@ -85,7 +86,7 @@ class SSPShard(PSShard):
                 yield self.agg_delay(msg.nbytes)
                 return
             yield self.agg_delay(msg.nbytes)
-            self.apply_gradient(acc, self.runtime.fold_lr())
+            self.fold_gradient(wid, acc)
             self.clocks[wid] = max(self.clocks[wid], msg.meta["clock"])
             self._release_satisfied()
         elif op == "fetch":
@@ -123,7 +124,7 @@ def _ssp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
         meta = {"op": "grad", "worker": slot.wid, "clock": clock + 1}
         if rt.comm_plan.wait_free:
             duration = rt.compute_model.iteration_time(slot.wid)
-            grad = slot.comp.gradient() if slot.comp is not None else None
+            grad = produce_gradient(rt, slot)
             yield from send_gradient_plan(
                 rt, slot, grad, kind="req", meta=meta, compute_duration=duration,
                 block_tx=True,

@@ -106,6 +106,23 @@ class WorkerSlot:
     extra: dict[str, Any] = field(default_factory=dict)
 
 
+def produce_gradient(rt: "Runtime", slot: WorkerSlot) -> np.ndarray | None:
+    """Compute one local gradient, passing it through the fault and
+    robust layers.
+
+    Every algorithm draws its gradients from here, so gradient faults
+    (bit flips, scaling, sign flips, NaN injection, Byzantine workers)
+    corrupt all seven without per-algorithm code, and the robust
+    layer's source-side integrity check sees every production.
+    """
+    grad = slot.comp.gradient() if slot.comp is not None else None
+    if rt.faults is not None:
+        grad = rt.faults.corrupt_gradient(slot, grad)
+    if rt.robust is not None:
+        rt.robust.gradient_produced(slot, grad)
+    return grad
+
+
 def compute_iteration(
     rt: "Runtime", slot: WorkerSlot
 ) -> Generator[Any, Any, np.ndarray | None]:
@@ -120,7 +137,7 @@ def compute_iteration(
     """
     duration = rt.compute_model.iteration_time(slot.wid)
     rt.tracer.begin(slot.wid, "compute", rt.engine.now)
-    grad = slot.comp.gradient() if slot.comp is not None else None
+    grad = produce_gradient(rt, slot)
     yield Timeout(duration)
     rt.tracer.end(slot.wid, "compute", rt.engine.now)
     return grad

@@ -1,0 +1,215 @@
+"""Byzantine-resilience experiment — robust aggregation under attack.
+
+The paper's algorithms assume honest workers; this driver measures
+what each training protocol retains when some are not. For every
+(algorithm × aggregator) cell it
+
+1. runs the attack-free baseline (``faults=None, robust=None`` — the
+   cached, fingerprint-stable run the other experiments share),
+2. re-runs with ``b`` persistent Byzantine workers (each sends
+   ``−scale·g`` instead of its gradient ``g`` — the sign-flipped,
+   amplified inner-product attack) and the cell's aggregation rule,
+3. reports accuracy retained (faulty final accuracy ÷ baseline final
+   accuracy) plus the corruption/rejection/quarantine counters.
+
+Cell semantics:
+
+* ``mean`` — the unprotected baseline-vulnerability cell: the attack
+  runs with no robust layer at all (``robust=None``);
+* ``median`` / ``trimmed_mean`` / ``norm_clip`` / ``krum`` /
+  ``multi_krum`` — the rule is applied at the algorithm's
+  gradient-combining point (PS shards for BSP/ASP/SSP, a dense
+  allgather for AR-SGD);
+* for the pairwise-mixing algorithms (AD-PSGD, GoSGD) and EASGD the
+  non-mean cells arm per-peer norm screening instead — a pairwise
+  exchange has no quorum to take a median over, so
+  distance-from-local-reference is the defense, backed by strike
+  quarantine of repeat offenders.
+
+BSP cells run with ``local_aggregation=False`` (baseline and faulty
+alike, so the ratio compares identical math): robust rules need one
+row per worker, and machine-level pre-aggregation would let a single
+Byzantine worker hide inside its group mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.tables import format_table
+from repro.core.history import TrainingHistory
+from repro.experiments.config import mini_accuracy_config
+from repro.experiments.executor import SweepExecutor, default_executor
+from repro.faults.config import FaultConfig, FaultEvent
+from repro.robust.config import RobustConfig
+
+__all__ = [
+    "ROBUST_ALGORITHMS",
+    "DEFAULT_AGGREGATORS",
+    "ByzantineResult",
+    "byzantine_fault_config",
+    "robust_config_for",
+    "run_byzantine",
+]
+
+ROBUST_ALGORITHMS = ("bsp", "asp", "ssp", "easgd", "ar-sgd", "ad-psgd", "gosgd")
+
+#: Default column set: the vulnerability baseline plus the three
+#: classic robust rules.
+DEFAULT_AGGREGATORS = ("mean", "median", "trimmed_mean", "krum")
+
+#: Algorithms whose defense is per-peer screening, not a quorum rule.
+_SCREENING_ALGORITHMS = ("easgd", "ad-psgd", "gosgd")
+
+DEFAULT_BYZANTINE_SCALE = 10.0
+DEFAULT_SCREEN_FACTOR = 3.0
+
+
+def byzantine_fault_config(
+    num_workers: int,
+    count: int,
+    *,
+    scale: float = DEFAULT_BYZANTINE_SCALE,
+    seed: int = 0,
+) -> FaultConfig:
+    """``count`` persistent Byzantine workers from t=0 — the highest
+    worker ids, so worker 0 (BSP's leader-of-first-group, AR-SGD's
+    rank 0) stays honest in every cell."""
+    if not 0 < count < num_workers:
+        raise ValueError("byzantine count must be in (0, num_workers)")
+    events = tuple(
+        FaultEvent(
+            time=0.0, kind="byzantine", worker=num_workers - 1 - i, scale=scale
+        )
+        for i in range(count)
+    )
+    return FaultConfig(events=events, seed=seed)
+
+
+def robust_config_for(
+    algorithm: str, aggregator: str, byzantine: int = 1
+) -> RobustConfig | None:
+    """The robust layer one grid cell runs with (None = unprotected)."""
+    if aggregator == "mean":
+        return None
+    key = algorithm.lower().replace("_", "-")
+    if key in _SCREENING_ALGORITHMS:
+        # Pairwise mixing: the rule label selects the cell, the actual
+        # defense is norm screening + strike quarantine.
+        return RobustConfig(
+            aggregator=aggregator,
+            screen_factor=DEFAULT_SCREEN_FACTOR,
+            quarantine_strikes=3,
+        )
+    return RobustConfig(aggregator=aggregator, krum_f=byzantine)
+
+
+@dataclass
+class ByzantineResult:
+    """retained[algorithm][aggregator] plus per-cell robust summaries."""
+
+    algorithms: tuple[str, ...]
+    aggregators: tuple[str, ...]
+    byzantine: int
+    scale: float
+    baseline: dict[str, TrainingHistory] = field(default_factory=dict)
+    raw: dict[tuple[str, str], TrainingHistory] = field(default_factory=dict)
+    retained: dict[str, dict[str, float]] = field(default_factory=dict)
+    summaries: dict[tuple[str, str], dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["algorithm", "baseline acc", *self.aggregators]
+        rows = []
+        for algo in self.algorithms:
+            rows.append(
+                [
+                    algo.upper(),
+                    self.baseline[algo].final_test_accuracy,
+                    *(self.retained[algo][agg] for agg in self.aggregators),
+                ]
+            )
+        table = format_table(
+            headers,
+            rows,
+            title=(
+                f"Byzantine resilience — accuracy retained with {self.byzantine} "
+                f"hostile worker(s), attack scale {self.scale:g}"
+            ),
+            float_format="{:.2f}",
+        )
+        notes = []
+        for algo in self.algorithms:
+            for agg in self.aggregators:
+                s = self.summaries.get((algo, agg))
+                if not s:
+                    continue
+                bits = []
+                rejections = sum(s.get("rejections", {}).values())
+                if rejections:
+                    bits.append(f"{rejections} rejections")
+                if s.get("rollbacks"):
+                    bits.append(f"{s['rollbacks']} rollbacks")
+                if s.get("quarantines_requested"):
+                    bits.append(f"quarantined {s['quarantines_requested']}")
+                if bits:
+                    notes.append(f"  {algo:>7s} / {agg:<12s} " + ", ".join(bits))
+        if notes:
+            table += "\n\nrobust-layer events:\n" + "\n".join(notes)
+        return table
+
+
+def run_byzantine(
+    *,
+    algorithms=ROBUST_ALGORITHMS,
+    aggregators=DEFAULT_AGGREGATORS,
+    num_workers: int = 8,
+    byzantine: int = 1,
+    scale: float = DEFAULT_BYZANTINE_SCALE,
+    epochs: float = 20.0,
+    seed: int = 0,
+    fault_seed: int = 0,
+    executor: SweepExecutor | None = None,
+) -> ByzantineResult:
+    """Run the Byzantine-resilience grid (algorithms × aggregators)."""
+    executor = executor or default_executor()
+    algorithms = tuple(algorithms)
+    aggregators = tuple(aggregators)
+
+    def base_config(algo: str):
+        cfg = mini_accuracy_config(
+            algo, num_workers=num_workers, epochs=epochs, seed=seed
+        )
+        if algo.lower().replace("_", "-") == "bsp":
+            cfg = replace(cfg, local_aggregation=False)
+        return cfg
+
+    result = ByzantineResult(
+        algorithms=algorithms,
+        aggregators=aggregators,
+        byzantine=byzantine,
+        scale=scale,
+    )
+    baselines = executor.map([base_config(a) for a in algorithms])
+    for algo, res in zip(algorithms, baselines):
+        result.baseline[algo] = res
+
+    faults = byzantine_fault_config(
+        num_workers, byzantine, scale=scale, seed=fault_seed
+    )
+    cells = [(a, g) for a in algorithms for g in aggregators]
+    configs = [
+        replace(
+            base_config(algo),
+            faults=faults,
+            robust=robust_config_for(algo, agg, byzantine),
+        )
+        for algo, agg in cells
+    ]
+    for (algo, agg), res in zip(cells, executor.map(configs)):
+        result.raw[(algo, agg)] = res
+        result.summaries[(algo, agg)] = res.metadata.get("robust", {})
+        base_acc = result.baseline[algo].final_test_accuracy
+        result.retained.setdefault(algo, {})[agg] = (
+            res.final_test_accuracy / base_acc if base_acc > 0 else float("nan")
+        )
+    return result

@@ -41,6 +41,7 @@ import numpy as np
 from repro import __version__
 from repro.core.history import ThroughputResult, TrainingHistory
 from repro.core.runner import RunConfig, execute_run
+from repro.io import atomic_write_text
 
 __all__ = [
     "config_fingerprint",
@@ -208,10 +209,9 @@ class RunCache:
             "kind": payload["kind"],
             "data": payload["data"],
         }
-        path = self._path(fingerprint)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
-        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial writes
+        # Atomic: concurrent sweeps never see partial writes, and a
+        # crash mid-write cannot corrupt an existing entry.
+        atomic_write_text(self._path(fingerprint), json.dumps(entry, sort_keys=True) + "\n")
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -351,19 +351,7 @@ class SweepExecutor:
                         f"done in {time.perf_counter() - t_run:.1f}s"
                     )
             else:
-                # The pool is created only on a miss: warm-cache sweeps
-                # never spawn workers.
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(todo))
-                ) as pool:
-                    futures = [pool.submit(_execute_payload, cfg) for _, cfg in todo]
-                    fresh = []
-                    for i, ((fp, cfg), future) in enumerate(zip(todo, futures)):
-                        fresh.append(future.result())
-                        self._emit(
-                            f"  [{i + 1}/{len(todo)}] {_describe(cfg)} "
-                            f"done at +{time.perf_counter() - t0:.1f}s"
-                        )
+                fresh = self._map_pool(todo, t0)
             for (fp, _), payload in zip(todo, fresh):
                 payloads[fp] = payload
                 if self.cache is not None:
@@ -377,6 +365,65 @@ class SweepExecutor:
         return [
             _payload_to_result(payloads[fp], cfg) for cfg, fp in zip(configs, prints)
         ]
+
+    #: Pool rebuilds attempted after a BrokenProcessPool before falling
+    #: back to in-process serial execution.
+    POOL_RETRIES = 2
+
+    def _map_pool(
+        self, todo: list[tuple[str, RunConfig]], t0: float
+    ) -> list[dict]:
+        """Execute ``todo`` on a process pool, riding out pool crashes.
+
+        A ``BrokenProcessPool`` (a worker OOM-killed, a dead
+        interpreter) abandons every in-flight future, so the whole
+        remainder is retried on a fresh pool — results already
+        collected are kept. After :attr:`POOL_RETRIES` rebuilds the
+        remainder runs serially in-process: slower, but immune to
+        child-process mortality.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        fresh: list[dict] = []
+        remaining = list(todo)
+        for attempt in range(self.POOL_RETRIES + 1):
+            try:
+                # The pool is created only on a miss: warm-cache sweeps
+                # never spawn workers.
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(remaining))
+                ) as pool:
+                    futures = [
+                        pool.submit(_execute_payload, cfg) for _, cfg in remaining
+                    ]
+                    for (fp, cfg), future in zip(list(remaining), futures):
+                        fresh.append(future.result())
+                        remaining.pop(0)
+                        self._emit(
+                            f"  [{len(fresh)}/{len(todo)}] {_describe(cfg)} "
+                            f"done at +{time.perf_counter() - t0:.1f}s"
+                        )
+                return fresh
+            except BrokenProcessPool:
+                if attempt < self.POOL_RETRIES:
+                    self._emit(
+                        f"  worker pool died; retrying {len(remaining)} "
+                        f"remaining run(s) on a fresh pool "
+                        f"({attempt + 1}/{self.POOL_RETRIES})"
+                    )
+                else:
+                    self._emit(
+                        f"  worker pool died {self.POOL_RETRIES + 1} times; "
+                        f"running {len(remaining)} remaining run(s) serially"
+                    )
+        for fp, cfg in remaining:
+            t_run = time.perf_counter()
+            fresh.append(_execute_payload(cfg))
+            self._emit(
+                f"  [{len(fresh)}/{len(todo)}] {_describe(cfg)} "
+                f"done in {time.perf_counter() - t_run:.1f}s (serial fallback)"
+            )
+        return fresh
 
 
 # -- process-wide default ----------------------------------------------

@@ -7,17 +7,26 @@ membership eviction, and elastic rejoin.
 """
 
 from repro.faults.checkpoint import Snapshot, capture_snapshot, restore_snapshot
-from repro.faults.config import FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.config import (
+    FAULT_KINDS,
+    GRAD_FAULT_KINDS,
+    FaultConfig,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.faults.controller import FaultController
+from repro.faults.gradfaults import GradFaultModel
 from repro.faults.membership import Membership
 from repro.faults.netfaults import LinkFaultModel
 
 __all__ = [
     "FAULT_KINDS",
+    "GRAD_FAULT_KINDS",
     "FaultConfig",
     "FaultEvent",
     "FaultSchedule",
     "FaultController",
+    "GradFaultModel",
     "Membership",
     "LinkFaultModel",
     "Snapshot",

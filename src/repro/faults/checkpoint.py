@@ -10,7 +10,9 @@ training loop.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -33,6 +35,30 @@ class Snapshot:
     params: np.ndarray | None  # None in timing mode
     iterations: int
     nbytes: int
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the snapshot as JSON, atomically — a crash
+        mid-write must never destroy the previous good checkpoint."""
+        from repro.io import atomic_write_text  # io pulls in core.history
+
+        doc = {
+            "params": self.params.tolist() if self.params is not None else None,
+            "iterations": self.iterations,
+            "nbytes": self.nbytes,
+        }
+        return atomic_write_text(path, json.dumps(doc) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Snapshot":
+        doc = json.loads(Path(path).read_text())
+        params = (
+            np.asarray(doc["params"], dtype=np.float64)
+            if doc["params"] is not None
+            else None
+        )
+        return cls(
+            params=params, iterations=int(doc["iterations"]), nbytes=int(doc["nbytes"])
+        )
 
 
 def capture_snapshot(rt: "Runtime", algorithm: "TrainingAlgorithm") -> Snapshot:

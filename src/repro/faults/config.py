@@ -22,6 +22,24 @@ Fault taxonomy (``FaultEvent.kind``):
                        seconds. Loss manifests as TCP-style
                        retransmission latency, never as silent
                        disappearance.
+
+Gradient (data-plane) faults — silent corruption of the gradients a
+worker produces, applied at the gradient-production hook so every
+algorithm is corruptible without per-algorithm code:
+
+* ``bitflip``        — one-shot: the worker's next gradient has one
+                       random bit of one random element flipped.
+* ``nan_inject``     — one-shot: the worker's next gradient has one
+                       random element replaced by NaN.
+* ``grad_scale``     — for ``duration`` seconds the worker's gradients
+                       are multiplied by ``scale`` (default 100).
+* ``sign_flip``      — for ``duration`` seconds the worker's gradients
+                       are negated.
+* ``byzantine``      — from ``time`` on (or for ``duration`` if given)
+                       the worker is adversarial: it sends
+                       ``-scale * grad`` (default scale 10), the
+                       classic inner-product attack on mean
+                       aggregation.
 """
 
 from __future__ import annotations
@@ -30,9 +48,25 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
-__all__ = ["FaultEvent", "FaultConfig", "FaultSchedule", "FAULT_KINDS"]
+__all__ = [
+    "FaultEvent",
+    "FaultConfig",
+    "FaultSchedule",
+    "FAULT_KINDS",
+    "GRAD_FAULT_KINDS",
+]
 
-FAULT_KINDS = ("crash", "machine_outage", "link_degrade", "partition", "drop")
+#: Data-plane fault kinds, applied to the gradients a worker produces.
+GRAD_FAULT_KINDS = ("bitflip", "grad_scale", "sign_flip", "nan_inject", "byzantine")
+
+FAULT_KINDS = (
+    "crash",
+    "machine_outage",
+    "link_degrade",
+    "partition",
+    "drop",
+    *GRAD_FAULT_KINDS,
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +81,10 @@ class FaultEvent:
     rate_fraction: float | None = None
     drop_prob: float | None = None
     rejoin_after: float | None = None
+    # Corruption magnitude for grad_scale/byzantine. Omitted from the
+    # fingerprint when unset so pre-existing faulty-config content
+    # addresses stay valid.
+    scale: float | None = field(default=None, metadata={"fingerprint": "omit-if-none"})
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -55,13 +93,17 @@ class FaultEvent:
             raise ValueError(f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}")
         if self.kind == "crash" and self.worker is None:
             raise ValueError("crash events need a worker")
+        if self.kind in GRAD_FAULT_KINDS and self.worker is None:
+            raise ValueError(f"{self.kind} events need a worker")
         if self.kind in ("machine_outage", "link_degrade", "partition", "drop") and (
             self.machine is None
         ):
             raise ValueError(f"{self.kind} events need a machine")
-        if self.kind in ("link_degrade", "partition", "drop"):
+        if self.kind in ("link_degrade", "partition", "drop", "grad_scale", "sign_flip"):
             if self.duration is None or self.duration <= 0:
                 raise ValueError(f"{self.kind} events need a positive duration")
+        if self.kind == "byzantine" and self.duration is not None and self.duration <= 0:
+            raise ValueError("byzantine duration, when given, must be positive")
         if self.kind == "link_degrade":
             if self.rate_fraction is None or not 0 < self.rate_fraction <= 1:
                 raise ValueError("link_degrade needs rate_fraction in (0, 1]")
@@ -73,6 +115,13 @@ class FaultEvent:
                 raise ValueError("rejoin_after only applies to crash events")
             if self.rejoin_after <= 0:
                 raise ValueError("rejoin_after must be positive")
+        if self.scale is not None:
+            if self.kind not in ("grad_scale", "byzantine"):
+                raise ValueError("scale only applies to grad_scale/byzantine events")
+            if not (self.scale == self.scale and abs(self.scale) != float("inf")):
+                raise ValueError("scale must be finite")
+            if self.scale == 0:
+                raise ValueError("scale must be non-zero")
 
 
 @dataclass(frozen=True)
@@ -131,7 +180,11 @@ class FaultConfig:
         return cls(events=events, **data)
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        # Local import: repro.io pulls in core.history, and faults
+        # must stay importable from the core layer.
+        from repro.io import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "FaultConfig":

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.comm.endpoints import Node, heartbeat_loop
 from repro.faults.checkpoint import capture_snapshot, restore_snapshot
-from repro.faults.config import FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.config import GRAD_FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.gradfaults import GradFaultModel
 from repro.faults.membership import Membership
 from repro.faults.netfaults import LinkFaultModel
 from repro.sim.engine import Process, Timeout
@@ -43,6 +44,7 @@ from repro.sim.engine import Process, Timeout
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import TrainingAlgorithm
     from repro.core.runner import Runtime
+    from repro.core.worker import WorkerSlot
 
 __all__ = ["FaultController"]
 
@@ -67,6 +69,7 @@ class FaultController:
         )
         self.membership = Membership(range(runtime.config.num_workers))
         self.link_model = LinkFaultModel(self.rng)
+        self.grad_model = GradFaultModel(self.rng)
         runtime.ctx.network.fault_model = self.link_model
         # Processes owned by the training protocol: killed wholesale on
         # membership changes; a crash kills only its worker's entries.
@@ -79,6 +82,7 @@ class FaultController:
         self.monitor_node: Node | None = None
         self.evictions: list[dict] = []
         self.rejoins: list[dict] = []
+        self.quarantines: list[dict] = []
         self.events_applied: list[FaultEvent] = []
         self.iterations_lost = 0
 
@@ -129,7 +133,15 @@ class FaultController:
 
     def _apply(self, event: FaultEvent) -> None:
         self.events_applied.append(event)
-        if event.kind == "crash":
+        if event.kind in GRAD_FAULT_KINDS:
+            assert event.worker is not None
+            self.grad_model.arm(event, self.rt.engine.now)
+            self._record(
+                f"arm_{event.kind}",
+                worker=event.worker,
+                machine=self.rt.workers[event.worker].machine,
+            )
+        elif event.kind == "crash":
             assert event.worker is not None
             self._crash(event.worker, rejoin_after=event.rejoin_after)
         elif event.kind == "machine_outage":
@@ -169,6 +181,15 @@ class FaultController:
     def _restore_rate(self, machine: int) -> None:
         self.rt.ctx.network.scale_machine_rate(machine, 1.0)
         self._record("link_restore", machine=machine)
+
+    # -- gradient corruption ---------------------------------------------
+    def corrupt_gradient(self, slot: "WorkerSlot", grad):
+        """Apply any armed gradient faults to one worker's fresh
+        gradient (called from the gradient-production hook)."""
+        grad, applied = self.grad_model.corrupt(slot.wid, grad, self.rt.engine.now)
+        for kind in applied:
+            self._record(kind, worker=slot.wid, machine=slot.machine)
+        return grad
 
     def _crash(self, wid: int, *, rejoin_after: float | None = None) -> None:
         """Kill a worker's processes. Detection is left to the monitor."""
@@ -253,6 +274,33 @@ class FaultController:
         self.membership.evict(wid)
         self._membership_changed()
 
+    def quarantine(self, wid: int) -> None:
+        """Evict a worker the *data plane* convicted (repeated gradient
+        corruption or screening rejections), mirroring the failure
+        detector's eviction but attributed separately.
+
+        Must not be called from inside a registered process — the
+        membership change kills them all, including the caller. Callers
+        defer through ``engine._schedule(0.0, ...)`` instead.
+        """
+        if not self.membership.is_live(wid) or len(self.membership) <= 1:
+            return
+        rt = self.rt
+        slot = rt.workers[wid]
+        self._kill_owned(wid)
+        hb = self._hb_procs.pop(wid, None)
+        if hb is not None and hb.alive:
+            hb.kill()
+        self.dead.add(wid)
+        self._suspicion.pop(wid, None)
+        rt.tracer.flush_open(rt.engine.now, worker=wid)
+        self.quarantines.append(
+            {"time": rt.engine.now, "worker": wid, "iterations": slot.iterations}
+        )
+        self._record("quarantine", worker=wid, machine=slot.machine)
+        self.membership.evict(wid)
+        self._membership_changed()
+
     # -- membership protocol ---------------------------------------------
     def _membership_changed(self) -> None:
         """Uniform kill-and-respawn: restart the protocol over the live
@@ -331,6 +379,8 @@ class FaultController:
             "events_applied": len(self.events_applied),
             "evictions": self.evictions,
             "rejoins": self.rejoins,
+            "quarantines": self.quarantines,
+            "grad_corruptions": self.grad_model.summary(),
             "iterations_lost": self.iterations_lost,
             "final_live_workers": self.membership.live_sorted(),
             "membership_generation": self.membership.generation,

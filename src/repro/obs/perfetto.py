@@ -165,6 +165,27 @@ def build_trace(
                     },
                 }
             )
+        for ev in getattr(observer, "robust_events", []):
+            pid, tid = (
+                _worker_lane(ev.worker, cluster, machines)
+                if ev.worker is not None
+                else (metrics_pid, 2)
+            )
+            if (metrics_pid, 2) not in named_threads and ev.worker is None:
+                named_threads.add((metrics_pid, 2))
+                thread_name(metrics_pid, 2, "faults")
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": f"robust:{ev.kind}",
+                    "cat": "robust",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ev.time * _US,
+                    "args": {"worker": ev.worker, "detail": ev.detail},
+                }
+            )
         for name, series in sorted(observer.registry.all_series().items()):
             for t, v in zip(series.times, series.values):
                 events.append(

@@ -75,6 +75,7 @@ class RunObserver:
         self.messages: list[MessageEvent] = []
         self.processes: list[ProcessSpan] = []
         self.fault_events: list[FaultEventRecord] = []
+        self.robust_events: list[FaultEventRecord] = []
         self._live_processes: dict[int, ProcessSpan] = {}
         self._metrics = self.config.metrics
         self._events = self.config.trace_events
@@ -192,6 +193,25 @@ class RunObserver:
                 FaultEventRecord(
                     time=now, kind=kind, worker=worker, machine=machine, detail=detail
                 )
+            )
+
+    # -- robust layer ------------------------------------------------------
+    def robust_event(
+        self,
+        *,
+        now: float,
+        kind: str,
+        worker: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """One robust-layer event (rejection, detection, rollback,
+        checkpoint, quarantine request); counted per kind and kept for
+        the Perfetto trace."""
+        if self._metrics:
+            self.registry.counter(f"robust.{kind}").inc()
+        if self._events:
+            self.robust_events.append(
+                FaultEventRecord(time=now, kind=kind, worker=worker, detail=detail)
             )
 
     # -- end of run -------------------------------------------------------

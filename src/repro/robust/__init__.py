@@ -1,0 +1,22 @@
+"""Byzantine-robust aggregation, screening, and training-loop guards.
+
+``robust=None`` on a :class:`~repro.core.runner.RunConfig` is the
+zero-overhead path (bit-identical to the unprotected simulator);
+attaching a :class:`RobustConfig` swaps the configured aggregation
+rule into every gradient-combining point, arms per-peer screening for
+the decentralized algorithms, and optionally guards the training loop
+with NaN/loss-spike rollback and offender quarantine.
+"""
+
+from repro.robust.aggregators import AGGREGATOR_FNS, aggregate_rows, krum_scores
+from repro.robust.config import AGGREGATORS, RobustConfig
+from repro.robust.runtime import RobustRuntime
+
+__all__ = [
+    "AGGREGATORS",
+    "AGGREGATOR_FNS",
+    "RobustConfig",
+    "RobustRuntime",
+    "aggregate_rows",
+    "krum_scores",
+]

@@ -1,0 +1,134 @@
+"""Byzantine-robust aggregation rules.
+
+Every rule maps a stack of per-contributor gradient rows — an ``(n,
+d)`` array — to one aggregate ``(d,)`` vector on the same scale as the
+plain mean, so callers apply the aggregate with the learning rate they
+would have used for the mean. The menu follows the robust-aggregation
+literature:
+
+* ``mean``         — the vulnerable baseline (one adversarial row with
+                     a large norm moves it arbitrarily);
+* ``median``       — coordinate-wise median (Yin et al.);
+* ``trimmed_mean`` — coordinate-wise trimmed mean: drop the ``k``
+                     largest and smallest values per coordinate,
+                     average the rest (Yin et al.);
+* ``norm_clip``    — scale rows whose norm exceeds ``clip_factor`` x
+                     the median norm down to that threshold, then
+                     average — outlier *attenuation* rather than
+                     selection;
+* ``krum``         — select the single row with the smallest sum of
+                     squared distances to its ``n - f - 2`` nearest
+                     neighbours (Blanchard et al.);
+* ``multi_krum``   — average the ``m`` best-scoring rows.
+
+All robust rules (everything but ``mean``) drop non-finite rows before
+aggregating — a NaN row would otherwise poison even a median. With too
+few rows for a rule's structural requirement (e.g. Krum's ``n >= 3``)
+the rule degrades to the coordinate-wise median, never to the mean.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.config import RobustConfig
+
+__all__ = ["aggregate_rows", "krum_scores", "AGGREGATOR_FNS"]
+
+
+def _mean(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    return rows.mean(axis=0)
+
+
+def _median(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    return np.median(rows, axis=0)
+
+
+def _trimmed_mean(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    n = rows.shape[0]
+    k = int(np.floor(cfg.trim_fraction * n))
+    if 2 * k >= n:
+        return np.median(rows, axis=0)
+    if k == 0:
+        return rows.mean(axis=0)
+    ordered = np.sort(rows, axis=0)
+    return ordered[k : n - k].mean(axis=0)
+
+
+def _norm_clip(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    norms = np.linalg.norm(rows, axis=1)
+    threshold = cfg.clip_factor * np.median(norms)
+    if threshold <= 0:
+        return rows.mean(axis=0)
+    factors = np.minimum(1.0, threshold / np.maximum(norms, 1e-30))
+    return (rows * factors[:, None]).mean(axis=0)
+
+
+def krum_scores(rows: np.ndarray, f: int) -> np.ndarray:
+    """Krum score per row: the sum of its ``n - f - 2`` smallest
+    squared distances to the other rows (lower = more central)."""
+    n = rows.shape[0]
+    sq = np.sum(
+        (rows[:, None, :] - rows[None, :, :]) ** 2, axis=2
+    )  # pairwise squared distances, (n, n)
+    closest = max(1, n - f - 2)
+    scores = np.empty(n)
+    for i in range(n):
+        others = np.delete(sq[i], i)
+        others.sort()
+        scores[i] = others[:closest].sum()
+    return scores
+
+
+def _effective_f(n: int, cfg: "RobustConfig") -> int:
+    f = cfg.krum_f if cfg.krum_f is not None else 1
+    return max(0, min(f, n - 3))
+
+
+def _krum(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    n = rows.shape[0]
+    if n < 3:
+        return np.median(rows, axis=0)
+    scores = krum_scores(rows, _effective_f(n, cfg))
+    return rows[int(np.argmin(scores))].copy()
+
+
+def _multi_krum(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray:
+    n = rows.shape[0]
+    if n < 3:
+        return np.median(rows, axis=0)
+    scores = krum_scores(rows, _effective_f(n, cfg))
+    m = min(cfg.multi_krum_m, n)
+    keep = np.argsort(scores, kind="stable")[:m]
+    return rows[keep].mean(axis=0)
+
+
+AGGREGATOR_FNS: dict[str, Callable[[np.ndarray, "RobustConfig"], np.ndarray]] = {
+    "mean": _mean,
+    "median": _median,
+    "trimmed_mean": _trimmed_mean,
+    "norm_clip": _norm_clip,
+    "krum": _krum,
+    "multi_krum": _multi_krum,
+}
+
+
+def aggregate_rows(rows: np.ndarray, cfg: "RobustConfig") -> np.ndarray | None:
+    """Apply the configured rule to an ``(n, d)`` stack of rows.
+
+    Robust rules see only finite rows; returns ``None`` when nothing
+    survives (the caller skips the update).
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        return None
+    if cfg.aggregator != "mean":
+        finite = np.isfinite(rows).all(axis=1)
+        if not finite.all():
+            rows = rows[finite]
+        if rows.shape[0] == 0:
+            return None
+    return AGGREGATOR_FNS[cfg.aggregator](rows, cfg)

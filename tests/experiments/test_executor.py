@@ -246,6 +246,88 @@ def test_runconfig_is_picklable_for_pools():
     assert config_fingerprint(clone) == config_fingerprint(cfg)
 
 
+class TestBrokenPoolRecovery:
+    """A dying worker pool must never kill a sweep: retry on a fresh
+    pool, then finish serially in-process."""
+
+    @staticmethod
+    def _install(monkeypatch, pool_cls):
+        import repro.experiments.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", pool_cls)
+
+    def test_serial_fallback_after_repeated_pool_death(self, monkeypatch):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        class DeadPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                future = Future()
+                future.set_exception(BrokenProcessPool("worker died"))
+                return future
+
+        self._install(monkeypatch, DeadPool)
+        grid = tiny_grid()
+        lines = []
+        ex = SweepExecutor(jobs=4, cache=False, progress=lines.append)
+        results = ex.map(grid)
+        assert stable(results) == stable(SweepExecutor(jobs=1, cache=False).map(grid))
+        assert sum("fresh pool" in line for line in lines) == 2
+        assert any("serially" in line for line in lines)
+        assert sum("serial fallback" in line for line in lines) == len(grid)
+
+    def test_retry_keeps_collected_results(self, monkeypatch):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        class FlakyPool:
+            instances = 0
+
+            def __init__(self, *args, **kwargs):
+                type(self).instances += 1
+                self._broken = type(self).instances == 1
+                self._submitted = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                future = Future()
+                self._submitted += 1
+                if self._broken and self._submitted > 1:
+                    future.set_exception(BrokenProcessPool("worker died"))
+                else:
+                    future.set_result(fn(*args))
+                return future
+
+        self._install(monkeypatch, FlakyPool)
+        grid = tiny_grid()
+        lines = []
+        ex = SweepExecutor(jobs=4, cache=False, progress=lines.append)
+        results = ex.map(grid)
+        assert FlakyPool.instances == 2  # one death, one successful retry
+        assert stable(results) == stable(SweepExecutor(jobs=1, cache=False).map(grid))
+        retry_lines = [line for line in lines if "fresh pool" in line]
+        # One result was banked before the pool died: only the
+        # remaining three runs are retried.
+        assert retry_lines == [
+            "  worker pool died; retrying 3 remaining run(s) on a fresh pool (1/2)"
+        ]
+        assert not any("serial fallback" in line for line in lines)
+
+
 class TestSweepTelemetry:
     def test_stats_wall_time_and_summary(self, tmp_path):
         ex = SweepExecutor(jobs=1, cache_dir=tmp_path)

@@ -1,0 +1,33 @@
+"""Snapshot persistence: atomic save, faithful load."""
+
+import numpy as np
+
+from repro.faults.checkpoint import Snapshot
+
+
+class TestSnapshotRoundtrip:
+    def test_full_mode_roundtrip(self, tmp_path):
+        snap = Snapshot(
+            params=np.array([1.5, -2.0, 0.0]), iterations=42, nbytes=1024
+        )
+        path = snap.save(tmp_path / "ckpt.json")
+        back = Snapshot.load(path)
+        assert np.array_equal(back.params, snap.params)
+        assert back.params.dtype == np.float64
+        assert back.iterations == 42
+        assert back.nbytes == 1024
+
+    def test_timing_mode_roundtrip(self, tmp_path):
+        snap = Snapshot(params=None, iterations=7, nbytes=512)
+        back = Snapshot.load(snap.save(tmp_path / "ckpt.json"))
+        assert back.params is None
+        assert back.iterations == 7
+
+    def test_save_is_atomic_overwrite(self, tmp_path):
+        target = tmp_path / "ckpt.json"
+        Snapshot(params=np.array([1.0]), iterations=1, nbytes=8).save(target)
+        Snapshot(params=np.array([2.0]), iterations=2, nbytes=8).save(target)
+        assert Snapshot.load(target).iterations == 2
+        # No stray temp files: a crash mid-write must never leave the
+        # previous good checkpoint replaced by garbage.
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.faults.config import FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.config import (
+    FAULT_KINDS,
+    GRAD_FAULT_KINDS,
+    FaultConfig,
+    FaultEvent,
+    FaultSchedule,
+)
 
 
 class TestFaultEventValidation:
@@ -13,6 +19,13 @@ class TestFaultEventValidation:
             "link_degrade",
             "partition",
             "drop",
+        } | set(GRAD_FAULT_KINDS)
+        assert set(GRAD_FAULT_KINDS) == {
+            "bitflip",
+            "grad_scale",
+            "sign_flip",
+            "nan_inject",
+            "byzantine",
         }
 
     def test_unknown_kind_rejected(self):

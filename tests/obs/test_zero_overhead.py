@@ -77,6 +77,28 @@ class TestFingerprintStability:
         )
         assert config_fingerprint(refaulted) != fp
 
+    def test_robust_none_is_omitted_from_fingerprint(self):
+        """``robust=None`` (the default) must hash identically to a
+        config minted before the robust field existed — the robustness
+        PR must not invalidate any cached sweep."""
+        for make, expected in PINNED.values():
+            cfg = make()
+            assert cfg.robust is None
+            assert config_fingerprint(cfg) == expected
+
+    def test_robust_config_changes_fingerprint(self):
+        from dataclasses import replace
+
+        from repro.robust.config import RobustConfig
+
+        make, expected = PINNED["timing"]
+        protected = replace(make(), robust=RobustConfig(aggregator="median"))
+        fp = config_fingerprint(protected)
+        assert fp != expected
+        # ...and the rule itself is part of the address.
+        reprotected = replace(make(), robust=RobustConfig(aggregator="krum"))
+        assert config_fingerprint(reprotected) != fp
+
 
 class TestResultIdentity:
     def test_observer_absent_unless_enabled(self):
@@ -96,3 +118,19 @@ class TestResultIdentity:
         plain = execute_run(cfg).to_dict()
         observed = DistributedRunner(cfg, obs=ObsConfig(enabled=True)).run().to_dict()
         assert observed == plain
+
+    def test_plain_mean_robust_layer_changes_no_outcome(self):
+        """``RobustConfig(aggregator="mean")`` with no screening and no
+        guard arms only passive accounting: the learning trajectory must
+        match the unprotected run exactly."""
+        from dataclasses import replace
+
+        from repro.robust.config import RobustConfig
+
+        cfg = small_full_config("bsp")
+        plain = execute_run(cfg)
+        passive = execute_run(replace(cfg, robust=RobustConfig(aggregator="mean")))
+        assert passive.final_test_accuracy == plain.final_test_accuracy
+        assert passive.train_loss == plain.train_loss
+        assert passive.test_accuracy == plain.test_accuracy
+        assert passive.metadata["robust"]["rejections"] == {}

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.history import ThroughputResult, TrainingHistory
 from repro.io import (
+    atomic_write_text,
     history_from_dict,
     history_to_dict,
     load_json,
@@ -39,6 +40,20 @@ class TestToJsonable:
 
         assert to_jsonable(Opaque()) == "<opaque>"
 
+    def test_non_finite_floats_become_null(self):
+        # A diverged loss or faulted gradient norm must yield valid,
+        # strictly-parseable JSON — never a bare NaN/Infinity token.
+        assert to_jsonable(float("nan")) is None
+        assert to_jsonable(float("inf")) is None
+        assert to_jsonable(float("-inf")) is None
+        assert to_jsonable(np.float64("nan")) is None
+        assert to_jsonable([1.0, float("nan"), 2.0]) == [1.0, None, 2.0]
+        assert to_jsonable(np.array([np.nan, 1.0])) == [None, 1.0]
+
+    def test_booleans_survive(self):
+        assert to_jsonable(True) is True
+        assert to_jsonable({"flag": False}) == {"flag": False}
+
 
 class TestJsonRoundtrip:
     def test_save_and_load(self, tmp_path):
@@ -48,6 +63,31 @@ class TestJsonRoundtrip:
     def test_creates_parent_dirs(self, tmp_path):
         path = save_json([1, 2], tmp_path / "a" / "b" / "out.json")
         assert path.exists()
+
+    def test_nan_values_saved_as_null(self, tmp_path):
+        path = save_json({"loss": float("nan")}, tmp_path / "out.json")
+        assert "NaN" not in path.read_text()
+        assert load_json(path) == {"loss": None}
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_path(self, tmp_path):
+        path = atomic_write_text(tmp_path / "x.txt", "hello")
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "x.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a" / "b" / "x.txt", "deep")
+        assert path.read_text() == "deep"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "x.txt", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.txt"]
 
 
 class TestHistoryRoundtrip:
