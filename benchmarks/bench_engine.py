@@ -1,0 +1,130 @@
+"""Engine throughput benchmark: events/sec and wall time per config.
+
+Times a fixed grid of timing-mode runs (all seven algorithms at two
+worker counts) and records, per cell:
+
+* ``build_s``  — runner construction (model profile, sharding plan,
+  network/cost-model setup);
+* ``run_s``    — the discrete-event loop itself;
+* ``events``   — ``Engine.events_processed`` (deterministic per cell);
+* ``events_per_s`` — engine throughput, ``events / run_s``.
+
+The first record in ``BENCH_engine.json`` is the pre-optimization
+baseline; every later record carries per-cell and aggregate speedups
+against it. Wall-clock assertions are deliberately absent — container
+timing is noisy — the appended history is the tracked signal.
+
+Each invocation appends one record to ``benchmarks/BENCH_engine.json``.
+Marked ``slow``: a wall-clock measurement, not a tier-1 test.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): a two-cell grid with
+five measured iterations, written to a throwaway file, asserting only
+that the bench completes and emits valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import timing_config
+
+pytestmark = pytest.mark.slow
+
+BENCH_FILE = Path(__file__).parent / "BENCH_engine.json"
+REPEATS = 3
+
+ALGORITHMS = ("bsp", "asp", "ssp", "easgd", "ar-sgd", "gosgd", "ad-psgd")
+WORKER_COUNTS = (8, 16)
+MEASURE_ITERS = 20
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+if SMOKE:
+    ALGORITHMS = ("bsp", "asp")
+    WORKER_COUNTS = (8,)
+    MEASURE_ITERS = 5
+
+
+def grid_configs():
+    for algo in ALGORITHMS:
+        for workers in WORKER_COUNTS:
+            yield f"{algo}/{workers}w", timing_config(
+                algo,
+                num_workers=workers,
+                bandwidth_gbps=10.0,
+                measure_iters=MEASURE_ITERS,
+            )
+
+
+def _time_cell(cfg, repeats=REPEATS):
+    """Best-of-N build and run times plus the (deterministic) event count."""
+    best_build, best_run, events = float("inf"), float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        runner = DistributedRunner(cfg)
+        t1 = time.perf_counter()
+        runner.run()
+        t2 = time.perf_counter()
+        best_build = min(best_build, t1 - t0)
+        best_run = min(best_run, t2 - t1)
+        events = runner.engine.events_processed
+    return best_build, best_run, events
+
+
+def test_engine_throughput():
+    cells = {}
+    for name, cfg in grid_configs():
+        build_s, run_s, events = _time_cell(cfg)
+        cells[name] = {
+            "build_s": round(build_s, 4),
+            "run_s": round(run_s, 4),
+            "wall_s": round(build_s + run_s, 4),
+            "events": events,
+            "events_per_s": round(events / run_s) if run_s > 0 else None,
+        }
+
+    total_wall = sum(c["wall_s"] for c in cells.values())
+    record = {
+        "grid": (
+            f"{'+'.join(ALGORITHMS)} x {list(WORKER_COUNTS)}w resnet50 "
+            f"10Gbps {MEASURE_ITERS} iters, best of {REPEATS}"
+        ),
+        "cells": cells,
+        "total_wall_s": round(total_wall, 4),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+    if SMOKE:
+        out = Path(__file__).parent / "BENCH_engine.smoke.json"
+        out.write_text(json.dumps([record], indent=2) + "\n")
+        assert json.loads(out.read_text())[0]["cells"]
+        out.unlink()
+        return
+
+    records = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else []
+    if records:
+        base = records[0]
+        shared = [n for n in cells if n in base["cells"]]
+        speedups = {
+            n: round(base["cells"][n]["wall_s"] / cells[n]["wall_s"], 2)
+            for n in shared
+            if cells[n]["wall_s"] > 0
+        }
+        record["speedup_vs_baseline"] = speedups
+        if speedups:
+            record["speedup_geomean"] = round(
+                math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups)),
+                2,
+            )
+        base_wall = sum(base["cells"][n]["wall_s"] for n in shared)
+        this_wall = sum(cells[n]["wall_s"] for n in shared)
+        record["speedup_total_wall"] = round(base_wall / this_wall, 2)
+    records.append(record)
+    BENCH_FILE.write_text(json.dumps(records, indent=2) + "\n")
+    print("\n" + json.dumps(record, indent=2))

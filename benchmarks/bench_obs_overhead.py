@@ -4,6 +4,9 @@ Times a fixed timing-mode run (BSP, 16 workers, ResNet-50, 20 measured
 iterations) three ways:
 
 * ``off_s``  — no observer anywhere, the seed hot path;
+* ``idle_s`` — an observer attached but recording nothing
+  (``metrics=False, trace_events=False``): every hook site sees a
+  pre-bound ``None`` hook, so this must track ``off_s`` within noise;
 * ``on_s``   — full observability (metrics + trace events);
 * ``built_s``— observability plus Perfetto trace assembly.
 
@@ -59,6 +62,9 @@ def test_obs_overhead():
 
     off_s = _best_of(lambda: execute_run(cfg))
 
+    idle_obs = ObsConfig(enabled=True, metrics=False, trace_events=False)
+    idle_s = _best_of(lambda: DistributedRunner(cfg, obs=idle_obs).run())
+
     def observed():
         runner = DistributedRunner(cfg, obs=ObsConfig(enabled=True))
         runner.run()
@@ -82,8 +88,10 @@ def test_obs_overhead():
     record = {
         "run": "bsp 16w resnet50 10Gbps 20 iters, best of 3",
         "off_s": round(off_s, 4),
+        "idle_s": round(idle_s, 4),
         "on_s": round(on_s, 4),
         "built_s": round(built_s, 4),
+        "idle_overhead": round(idle_s / off_s - 1, 4),
         "on_overhead": round(on_s / off_s - 1, 4),
         "off_vs_baseline": (
             round(off_s / baseline - 1, 4) if baseline else None
@@ -101,5 +109,6 @@ def test_obs_overhead():
             f"obs-off run {off_s:.3f}s vs historical best {baseline:.3f}s"
         )
     # Observation is bounded work per event; even fully on it must not
-    # blow the run up.
+    # blow the run up. Armed-but-idle must be essentially free.
+    assert idle_s < off_s * 1.5
     assert on_s < off_s * 3

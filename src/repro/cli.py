@@ -104,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export a Perfetto trace of one representative run here",
     )
+    _add_profile_arg(run)
     _add_fault_spec_args(run)
 
     train = sub.add_parser("train", help="train one algorithm and print its history")
@@ -119,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export a Perfetto trace of this training run here",
     )
+    _add_profile_arg(train)
     _add_fault_spec_args(train)
 
     faults = sub.add_parser(
@@ -192,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (timing experiments)")
     trace.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_profile_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile",
+        type=str,
+        default=None,
+        metavar="PSTATS_FILE",
+        help=(
+            "profile the command under cProfile: dump raw pstats here and "
+            "print the top-20 functions by cumulative time to stderr"
+        ),
+    )
 
 
 def _add_fault_spec_args(sub: argparse.ArgumentParser) -> None:
@@ -426,6 +441,27 @@ def _run_trace(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    profile_out = getattr(args, "profile", None)
+    if not profile_out:
+        return _dispatch(args)
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        prof.disable()
+        prof.dump_stats(profile_out)
+        print(
+            f"\n[profile written to {profile_out}; top 20 by cumulative time]",
+            file=sys.stderr,
+        )
+        pstats.Stats(prof, stream=sys.stderr).sort_stats("cumulative").print_stats(20)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         from repro.core import ALGORITHMS
 

@@ -29,14 +29,27 @@ def ring_neighbors(rank: int, world: int) -> tuple[int, int]:
     return ((rank - 1) % world, (rank + 1) % world)
 
 
+_SLICE_CACHE: dict[tuple[int, int], list[slice]] = {}
+
+
 def chunk_slices(total: int, world: int) -> list[slice]:
-    """Split ``total`` elements into ``world`` near-equal chunks."""
+    """Split ``total`` elements into ``world`` near-equal chunks.
+
+    Memoised per (total, world): every ring generator asks for the same
+    split every iteration, and the linspace dominates its setup cost.
+    The returned list is shared; callers must not mutate it.
+    """
+    cached = _SLICE_CACHE.get((total, world))
+    if cached is not None:
+        return cached
     if world <= 0:
         raise ValueError("world must be positive")
     if total < 0:
         raise ValueError("total must be non-negative")
     bounds = np.linspace(0, total, world + 1).astype(int)
-    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(world)]
+    slices = [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(world)]
+    _SLICE_CACHE[(total, world)] = slices
+    return slices
 
 
 @dataclass(frozen=True)
@@ -54,6 +67,9 @@ class RingStep:
     reduce: bool
 
 
+_PLAN_CACHE: dict[tuple[int, int], list[RingStep]] = {}
+
+
 def ring_allreduce_plan(rank: int, world: int) -> list[RingStep]:
     """The 2·(N−1)-step ring AllReduce schedule for ``rank``.
 
@@ -62,13 +78,21 @@ def ring_allreduce_plan(rank: int, world: int) -> list[RingStep]:
     ``(rank − s − 1) mod N``; after N−1 steps it owns the fully reduced
     chunk ``(rank + 1) mod N``. The allgather half then circulates the
     reduced chunks.
+
+    Plans are memoised per (rank, world) — AR-SGD rebuilds the schedule
+    every iteration, and the plan is pure in its arguments. The returned
+    list is shared; callers must not mutate it.
     """
     if world <= 0:
         raise ValueError("world must be positive")
     if not 0 <= rank < world:
         raise ValueError("rank out of range")
+    cached = _PLAN_CACHE.get((rank, world))
+    if cached is not None:
+        return cached
     plan: list[RingStep] = []
     if world == 1:
+        _PLAN_CACHE[(rank, world)] = plan
         return plan
     for s in range(world - 1):
         plan.append(
@@ -88,4 +112,5 @@ def ring_allreduce_plan(rank: int, world: int) -> list[RingStep]:
                 reduce=False,
             )
         )
+    _PLAN_CACHE[(rank, world)] = plan
     return plan

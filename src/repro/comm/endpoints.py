@@ -28,6 +28,10 @@ __all__ = ["CommContext", "Node", "heartbeat_loop", "HEARTBEAT_BYTES"]
 #: Wire size of one heartbeat control message.
 HEARTBEAT_BYTES = 32
 
+# Shared meta for messages sent without one (ring chunks, broadcasts):
+# never mutated — consumers only ever read keys their own senders set.
+_EMPTY_META: dict[str, Any] = {}
+
 
 @dataclass
 class CommContext:
@@ -70,6 +74,15 @@ class Node:
         self._mailboxes: dict[str, Store] = {}
         self.sent_messages = 0
         self.sent_bytes = 0
+        # Tracer dispatch is specialized at construction: ``enabled``
+        # is fixed for a tracer's lifetime, so a disabled tracer costs
+        # nothing per delivery instead of a no-op method call.
+        self._trace_record = ctx.tracer.record if ctx.tracer.enabled else None
+        # Same discipline for the observer: the hook is None unless the
+        # observer actually records something for delivered messages.
+        self._obs_on_message = (
+            ctx.observer.on_message_hook if ctx.observer is not None else None
+        )
 
     def mailbox(self, kind: str) -> Store:
         box = self._mailboxes.get(kind)
@@ -96,47 +109,99 @@ class Node:
         transfer completes. If ``trace_worker`` is set, the wire time is
         recorded as a ``comm`` span for that worker.
         """
-        engine = self.ctx.engine
+        ctx = self.ctx
         msg = Message(
             src=self.node_id,
             dst=dst.node_id,
             kind=kind,
             nbytes=nbytes,
             payload=payload,
-            meta=meta or {},
-            send_time=engine.now,
+            meta=meta if meta is not None else _EMPTY_META,
+            send_time=ctx.engine.now,
         )
         self.sent_messages += 1
         self.sent_bytes += nbytes
-        send_time = engine.now
-        epoch = self.ctx.epoch
-        done = self.ctx.network.transfer(
+        done = ctx.network.transfer(
             self.machine, dst.machine, nbytes, tx_done=tx_done, oob=oob
         )
-
-        def deliver(_value: Any) -> None:
-            if self.ctx.epoch != epoch:
-                self.ctx.dropped_messages += 1
-                return
-            msg.recv_time = engine.now
-            if trace_worker is not None:
-                self.ctx.tracer.record(trace_worker, "comm", send_time, engine.now)
-            if self.ctx.observer is not None:
-                self.ctx.observer.on_message(
-                    src_machine=self.machine,
-                    dst_machine=dst.machine,
-                    kind=kind,
-                    nbytes=nbytes,
-                    t_send=send_time,
-                    t_recv=engine.now,
-                )
-            dst.mailbox(kind).put(msg)
-
         if done.triggered:
-            deliver(None)
+            self._deliver(None, msg, ctx.epoch, dst, trace_worker)
         else:
-            done._waiters.append(deliver)
+            done._waiters.append(
+                (self._deliver, (msg, ctx.epoch, dst, trace_worker))
+            )
         return done
+
+    def send_nowait(
+        self,
+        dst: "Node",
+        kind: str,
+        *,
+        nbytes: int,
+        payload: Any = None,
+        meta: dict[str, Any] | None = None,
+        trace_worker: int | None = None,
+        oob: bool = False,
+    ) -> None:
+        """Fire-and-forget :meth:`send`: no delivery Signal.
+
+        Identical wire accounting, timing and delivery semantics, but
+        the mailbox deposit is scheduled directly on the event queue.
+        Nearly every protocol message is sent this way — senders wait
+        on *replies* (their own mailboxes), never on delivery of what
+        they sent — and skipping the Signal machinery is a measurable
+        share of per-message cost. Use :meth:`send` when the caller
+        needs the delivery signal or blocking-send (``tx_done``)
+        semantics.
+        """
+        ctx = self.ctx
+        msg = Message(
+            self.node_id,
+            dst.node_id,
+            kind,
+            nbytes,
+            payload,
+            meta if meta is not None else _EMPTY_META,
+            ctx.engine.now,
+        )
+        self.sent_messages += 1
+        self.sent_bytes += nbytes
+        ctx.network.transfer_cb(
+            self.machine,
+            dst.machine,
+            nbytes,
+            self._deliver,
+            (None, msg, ctx.epoch, dst, trace_worker),
+            oob=oob,
+        )
+
+    def _deliver(
+        self,
+        _value: Any,
+        msg: Message,
+        epoch: int,
+        dst: "Node",
+        trace_worker: int | None,
+    ) -> None:
+        """Land ``msg`` in the destination mailbox (delivery callback)."""
+        ctx = self.ctx
+        if ctx.epoch != epoch:
+            ctx.dropped_messages += 1
+            return
+        now = ctx.engine.now
+        msg.recv_time = now
+        if trace_worker is not None and self._trace_record is not None:
+            self._trace_record(trace_worker, "comm", msg.send_time, now)
+        if self._obs_on_message is not None:
+            self._obs_on_message(
+                src_machine=self.machine,
+                dst_machine=dst.machine,
+                kind=msg.kind,
+                nbytes=msg.nbytes,
+                t_send=msg.send_time,
+                t_recv=now,
+            )
+        dst.mailbox(msg.kind).put(msg)
 
     def recv(self, kind: str) -> Get:
         """Yieldable: next message of ``kind`` (FIFO)."""
@@ -160,16 +225,26 @@ class Node:
             box.clear()
 
 
-def heartbeat_loop(node: Node, monitor: Node, worker: int, interval: float, runtime):
+def heartbeat_loop(
+    node: Node,
+    monitor: Node,
+    worker: int,
+    interval: float,
+    runtime,
+):
     """Process body: periodically announce liveness to ``monitor``.
 
-    The failure detector (``repro.faults.controller``) evicts a worker
-    whose heartbeats stop arriving. The loop itself is what the fault
-    controller kills to simulate a crash — a dead worker falls silent,
-    it does not announce its own death.
+    Beats land as ordinary messages in ``monitor``'s ``"hb"`` mailbox.
+    The fault controller no longer uses this loop — its failure
+    detector runs beats as a callback chain on the engine's fast path
+    (see ``repro.faults.controller``) — but the generator form remains
+    the reference implementation and the building block for custom
+    monitors.
     """
     while not runtime.stopping:
         yield Timeout(interval)
         if runtime.stopping:
             return
-        node.send(monitor, "hb", nbytes=HEARTBEAT_BYTES, meta={"worker": worker}, oob=True)
+        node.send_nowait(
+            monitor, "hb", nbytes=HEARTBEAT_BYTES, meta={"worker": worker}, oob=True
+        )

@@ -8,7 +8,7 @@ from typing import Any
 __all__ = ["Message"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A delivered network message.
 

@@ -24,7 +24,7 @@ from repro.comm.endpoints import CommContext, Node
 from repro.comm.messages import Message
 from repro.nn.optim import FlatSGD
 from repro.optimizations.sharding import ShardAssignment
-from repro.sim.engine import Timeout
+from repro.sim.engine import Get, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runner import Runtime
@@ -124,18 +124,30 @@ class PSShard(Node):
     @property
     def entries_per_sender(self) -> int:
         """Gradient messages each sender directs at this shard per
-        iteration (1 without wait-free BP; one per owned layer with)."""
-        return sum(
-            1 for e in self.runtime.comm_plan.entries if e.shard_id == self.shard_id
-        )
+        iteration (1 without wait-free BP; one per owned layer with).
+
+        Cached on first access: the comm plan is fixed at runner
+        construction, and shards consult this every received gradient.
+        """
+        cached = self.__dict__.get("_entries_per_sender")
+        if cached is None:
+            cached = sum(
+                1 for e in self.runtime.comm_plan.entries if e.shard_id == self.shard_id
+            )
+            self.__dict__["_entries_per_sender"] = cached
+        return cached
 
     @property
     def slice_bytes(self) -> int:
         return self.assignment.num_elements * self.runtime.sharding.bytes_per_param
 
     def agg_delay(self, nbytes: int) -> Timeout:
-        """Virtual time spent applying an aggregation of ``nbytes``."""
-        return Timeout(self.ctx.comm_model.agg_time(nbytes))
+        """Virtual time spent applying an aggregation of ``nbytes``.
+
+        The Timeout instance is shared per size (see CommModel): shards
+        yield one per received gradient, so the allocation matters.
+        """
+        return self.ctx.comm_model.agg_timeout(nbytes)
 
     def dense_from_payload(self, payload: Any) -> np.ndarray | None:
         """Normalise a request payload to a dense slice gradient.
@@ -262,7 +274,7 @@ class PSShard(Node):
             if self.params is not None
             else None
         )
-        self.send(
+        self.send_nowait(
             worker_node,
             "reply",
             nbytes=length * self.runtime.sharding.bytes_per_param,
@@ -284,9 +296,9 @@ class PSShard(Node):
             base_meta.update(meta)
         trace_worker = base_meta.get("trace_worker")
         wid = base_meta.get("trace_worker")
-        obs = self.runtime.obs
-        if obs is not None and wid is not None:
-            obs.staleness_sample(
+        staleness_sample = self.runtime.obs_staleness_sample
+        if staleness_sample is not None and wid is not None:
+            staleness_sample(
                 self.shard_id,
                 wid,
                 self.ctx.now,
@@ -315,7 +327,7 @@ class PSShard(Node):
                 nbytes = max(int(round(changed * 8)), 1)
             if wid is not None:
                 self._worker_version[wid] = self._version
-        self.send(
+        self.send_nowait(
             worker_node,
             "reply",
             nbytes=nbytes,
@@ -348,14 +360,15 @@ class PSShard(Node):
     # -- serve loop --------------------------------------------------------
     def serve(self) -> Generator[Any, Any, None]:
         """Main shard process: pop requests FIFO, dispatch to handle()."""
-        obs = self.runtime.obs
+        inbox_sample = self.runtime.obs_ps_inbox_sample
+        get_req = Get(self.mailbox("req"))
         while not self.runtime.stopping:
-            msg = yield self.recv("req")
-            if obs is not None:
+            msg = yield get_req
+            if inbox_sample is not None:
                 # Depth of the request backlog *behind* this message —
                 # the PS ingress queue the paper blames for the
                 # aggregation-wait fractions.
-                obs.ps_inbox_sample(self.shard_id, self.ctx.now, self.pending("req"))
+                inbox_sample(self.shard_id, self.ctx.now, self.pending("req"))
             yield from self.handle(msg)
 
     def handle(self, msg: Message) -> Generator[Any, Any, None]:

@@ -57,7 +57,7 @@ def _active_comm(
         peer = rt.workers[peer_wid]
         payload = slot.comp.get_params() if slot.comp is not None else None
         tracer.begin(slot.wid, "global_agg", rt.engine.now)
-        slot.node.send(
+        slot.node.send_nowait(
             peer.node,
             "xreq",
             nbytes=model_bytes,
@@ -81,7 +81,7 @@ def _passive_comm(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
         msg = yield slot.node.recv("xreq")
         requester = rt.workers[msg.meta["worker"]]
         payload = slot.comp.get_params() if slot.comp is not None else None
-        slot.node.send(
+        slot.node.send_nowait(
             requester.node,
             "xrep",
             nbytes=model_bytes,

@@ -24,7 +24,7 @@ from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
 from repro.core.worker import WorkerSlot, produce_gradient
 from repro.optimizations.dgc import SparseGradient
-from repro.sim.engine import AllOf, Signal, Timeout
+from repro.sim.engine import AllOf, Get, Signal, Timeout
 
 __all__ = ["ARSGD"]
 
@@ -53,24 +53,29 @@ def _ring_allreduce_entry(
     right_node = rt.workers[ring[right]].node
     slices = chunk_slices(num_elements, world)
     bpp = rt.sharding.bytes_per_param
+    sizes = [max((s.stop - s.start) * bpp, 1) for s in slices]
     buf = vec.copy() if vec is not None else None
+    # 2·(N−1) yields per entry per iteration: hoist every per-step
+    # lookup out of the loop and reuse the waitables (a Get and the
+    # cached per-size reduce Timeouts are stateless between yields).
+    send = slot.node.send_nowait
+    wid = slot.wid
+    get_msg = Get(slot.node.mailbox(kind))
+    reduce_timeout = rt.ctx.comm_model.reduce_timeout
     for step in ring_allreduce_plan(rank, world):
-        send_slice = slices[step.send_chunk]
-        nbytes = max((send_slice.stop - send_slice.start) * bpp, 1)
-        payload = buf[send_slice].copy() if buf is not None else None
-        slot.node.send(
+        payload = buf[slices[step.send_chunk]].copy() if buf is not None else None
+        send(
             right_node,
             kind,
-            nbytes=nbytes,
+            nbytes=sizes[step.send_chunk],
             payload=payload,
-            meta={"step": step.step},
-            trace_worker=slot.wid,
+            trace_worker=wid,
         )
-        msg = yield slot.node.recv(kind)
+        msg = yield get_msg
         if step.reduce:
             # Reduction arithmetic on the received chunk (worker-side
             # vector add, faster than the PS software path).
-            yield Timeout(rt.ctx.comm_model.reduce_time(msg.nbytes))
+            yield reduce_timeout(msg.nbytes)
         if buf is not None and msg.payload is not None:
             recv_slice = slices[step.recv_chunk]
             if step.reduce:
@@ -106,12 +111,11 @@ def _allgather_sparse(
         payload = (
             (block.indices, block.values) if isinstance(block, SparseGradient) else None
         )
-        slot.node.send(
+        slot.node.send_nowait(
             right_node,
             "ring:dgc",
             nbytes=max(block_bytes, 1),
             payload=payload,
-            meta={},
             trace_worker=slot.wid,
         )
         msg = yield slot.node.recv("ring:dgc")
@@ -151,7 +155,7 @@ def _allgather_dense(
     block_wid: int = slot.wid
     block: np.ndarray | None = grad
     for _ in range(world - 1):
-        slot.node.send(
+        slot.node.send_nowait(
             right_node,
             "ring:robust",
             nbytes=model_bytes,
@@ -176,6 +180,17 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
     entries = rt.comm_plan.entries
     dgc_on = rt.dgc_config is not None
     world = len(ring)
+    # Per-entry constants (offsets, ranges, process names) are fixed
+    # for the life of this worker; resolve them once, not per iteration.
+    entry_specs = [
+        (
+            entry,
+            entry.ready_offset,
+            rt.entry_ranges(entry),
+            f"ring-{entry.label}-w{slot.wid}",
+        )
+        for entry in entries
+    ]
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = produce_gradient(rt, slot)
@@ -225,12 +240,11 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
             signals: list[Signal] = []
             entry_meta: list[tuple[tuple[tuple[int, int], ...], Signal]] = []
             elapsed = 0.0
-            for entry in entries:
-                ready = entry.ready_offset * duration
+            for entry, ready_offset, ranges, proc_name in entry_specs:
+                ready = ready_offset * duration
                 if ready > elapsed:
                     yield Timeout(ready - elapsed)
                     elapsed = ready
-                ranges = rt.entry_ranges(entry)
                 vec = (
                     np.concatenate([grad[a:b] for a, b in ranges])
                     if grad is not None
@@ -241,7 +255,7 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
                     _ring_allreduce_entry(
                         rt, slot, ring, entry.label, ranges, vec, entry.num_elements, done
                     ),
-                    name=f"ring-{entry.label}-w{slot.wid}",
+                    name=proc_name,
                     owner=slot.wid,
                 )
                 signals.append(done)

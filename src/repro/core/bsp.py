@@ -69,6 +69,7 @@ class BSPShard(PSShard):
 
     def serve(self) -> Generator[Any, Any, None]:
         rt = self.runtime
+        get_req = Get(self.mailbox("req"))
         while not rt.stopping:
             # Per round: membership eviction may have shrunk the leader
             # count since the previous round.
@@ -86,9 +87,9 @@ class BSPShard(PSShard):
             leaders: list[int] = []
             first_arrival: float | None = None
             for _ in range(expected):
-                msg = yield self.recv("req")
-                if rt.obs is not None:
-                    rt.obs.ps_inbox_sample(
+                msg = yield get_req
+                if rt.obs_ps_inbox_sample is not None:
+                    rt.obs_ps_inbox_sample(
                         self.shard_id, rt.engine.now, self.pending("req")
                     )
                 if first_arrival is None:
@@ -127,6 +128,7 @@ def _peer_worker(
     the leader's parameter broadcast."""
     tracer = rt.tracer
     entries = rt.comm_plan.entries
+    get_bcast = Get(slot.node.mailbox("bcast"))
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = produce_gradient(rt, slot)
@@ -143,7 +145,7 @@ def _peer_worker(
             payload = (
                 np.concatenate([grad[a:b] for a, b in ranges]) if grad is not None else None
             )
-            slot.node.send(
+            slot.node.send_nowait(
                 leader.node,
                 "lagg",
                 nbytes=entry.nbytes,
@@ -155,7 +157,7 @@ def _peer_worker(
         tracer.end(slot.wid, "compute", rt.engine.now)
 
         tracer.begin(slot.wid, "local_agg", rt.engine.now)
-        msg = yield slot.node.recv("bcast")
+        msg = yield get_bcast
         tracer.end(slot.wid, "local_agg", rt.engine.now)
         if slot.comp is not None and msg.payload is not None:
             slot.comp.set_params(msg.payload)
@@ -204,6 +206,8 @@ def _leader_worker(
     entries = rt.comm_plan.entries
     group_size = len(peers) + 1
     dgc_on = rt.dgc_config is not None
+    get_lagg = Get(slot.node.mailbox("lagg"))
+    get_reply = Get(slot.node.mailbox("reply"))
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = produce_gradient(rt, slot)
@@ -225,7 +229,7 @@ def _leader_worker(
             np.zeros(rt.total_elements, dtype=np.float64) if grad is not None else None
         )
         for _ in range(group_size * len(entries)):
-            msg = yield Get(slot.node.mailbox("lagg"))
+            msg = yield get_lagg
             idx = msg.meta["entry_idx"]
             if msg.meta["worker"] == slot.wid:
                 compute_end = rt.engine.now
@@ -246,7 +250,7 @@ def _leader_worker(
                 if not dgc_on:
                     shard = rt.ps_nodes[entries[idx].shard_id]
                     payload = sums[idx]
-                    slot.node.send(
+                    slot.node.send_nowait(
                         shard,
                         "req",
                         nbytes=entries[idx].nbytes,
@@ -272,7 +276,7 @@ def _leader_worker(
         tracer.begin(slot.wid, "global_agg", rt.engine.now)
         flat = slot.comp.get_params() if slot.comp is not None else None
         for _ in range(rt.sharding.num_shards):
-            msg = yield slot.node.recv("reply")
+            msg = yield get_reply
             apply_reply_payload(rt, flat, msg)
         tracer.end(slot.wid, "global_agg", rt.engine.now)
         if slot.comp is not None and flat is not None:
@@ -281,7 +285,7 @@ def _leader_worker(
         # Broadcast the new parameters to the colocated peers.
         model_bytes = rt.total_elements * rt.sharding.bytes_per_param
         for peer in peers:
-            slot.node.send(
+            slot.node.send_nowait(
                 peer.node,
                 "bcast",
                 nbytes=model_bytes,

@@ -57,7 +57,7 @@ class EASGDShard(PSShard):
                 self.params += diff
                 reply_payload = x_i_new
         self.updates_applied += 1
-        self.send(
+        self.send_nowait(
             self.runtime.workers[wid].node,
             "reply",
             nbytes=self.slice_bytes,
@@ -82,7 +82,7 @@ def _easgd_worker(rt: Runtime, slot: WorkerSlot, tau: int, alpha: float) -> Gene
                 payload = (
                     shard.assignment.gather(params) if params is not None else None
                 )
-                slot.node.send(
+                slot.node.send_nowait(
                     shard,
                     "req",
                     nbytes=shard.slice_bytes,

@@ -221,6 +221,21 @@ class Runtime:
         self.engine = engine
         self.ctx = ctx
         self.obs = ctx.observer
+        # Specialized observer hooks: each is the bound recorder method
+        # when that dimension is recording and None otherwise, so the
+        # algorithm hot paths pay one null check — same as obs-off —
+        # when the observer is attached but idle.
+        obs = ctx.observer
+        self.obs_grad_bytes = obs.grad_bytes_hook if obs is not None else None
+        self.obs_iteration_sample = (
+            obs.iteration_sample_hook if obs is not None else None
+        )
+        self.obs_ps_inbox_sample = (
+            obs.ps_inbox_sample_hook if obs is not None else None
+        )
+        self.obs_staleness_sample = (
+            obs.staleness_sample_hook if obs is not None else None
+        )
         self.cluster = config.cluster
         self.mode = config.mode
         self.profile = profile
@@ -381,8 +396,8 @@ class Runtime:
         """Called by every worker after each training iteration."""
         slot.iterations += 1
         self.sample_clock.on_batch()
-        if self.obs is not None:
-            self.obs.iteration_sample(
+        if self.obs_iteration_sample is not None:
+            self.obs_iteration_sample(
                 slot.wid, self.engine.now, self.sample_clock.total_iterations
             )
         if self.robust is not None:
@@ -413,9 +428,14 @@ class DistributedRunner:
         # stays out of the sweep cache's fingerprint.
         self.observer = RunObserver(obs) if obs is not None and obs.enabled else None
         self.engine = Engine(observer=self.observer)
-        # An observed run always collects phase spans (they are the
-        # trace's backbone); result objects still honour config.trace.
-        tracer = PhaseTracer(enabled=config.trace or self.observer is not None)
+        # An observed run collects phase spans when it will export trace
+        # events (they are the trace's backbone); an armed-but-idle
+        # observer leaves the tracer off. Result objects still honour
+        # config.trace.
+        tracer = PhaseTracer(
+            enabled=config.trace
+            or (self.observer is not None and self.observer.config.trace_events)
+        )
         self.network = Network(self.engine, config.cluster, observer=self.observer)
         self.ctx = CommContext(
             engine=self.engine,
@@ -495,9 +515,10 @@ class DistributedRunner:
             seed=cfg.seed + 3,
             base_time_override=cfg.compute_time_override,
         )
-        if self.observer is not None:
-            observer, engine = self.observer, self.engine
-            compute_model.on_draw = lambda worker, duration: observer.compute_draw(
+        draw_hook = None if self.observer is None else self.observer.compute_draw_hook
+        if draw_hook is not None:
+            engine = self.engine
+            compute_model.on_draw = lambda worker, duration: draw_hook(
                 worker, engine.now, duration
             )
         schedule = WarmupStepSchedule(

@@ -147,7 +147,7 @@ def _ssp_worker(rt: Runtime, slot: WorkerSlot) -> Generator[Any, Any, None]:
         if clock - known_min > staleness:
             tracer.begin(slot.wid, "global_agg", rt.engine.now)
             for shard in rt.ps_nodes:
-                slot.node.send(
+                slot.node.send_nowait(
                     shard,
                     "req",
                     nbytes=FETCH_REQUEST_BYTES,

@@ -28,7 +28,7 @@ from repro.nn.module import Module
 from repro.nn.optim import SGD
 from repro.optimizations.dgc import DGCCompressor, SparseGradient
 from repro.optimizations.waitfree import CommPlanEntry
-from repro.sim.engine import AllOf, Signal, Timeout
+from repro.sim.engine import AllOf, Get, Signal, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.comm.endpoints import Node
@@ -207,7 +207,7 @@ def send_gradient_plan(
     meta: dict[str, Any] | None = None,
     compute_duration: float | None = None,
     block_tx: bool = False,
-) -> Generator[Any, Any, list[Signal]]:
+) -> Generator[Any, Any, None]:
     """Send this iteration's gradient messages according to the plan.
 
     Without wait-free BP this is called *after* the compute stage and
@@ -216,10 +216,9 @@ def send_gradient_plan(
     Timeout with per-layer sends at their readiness offsets (the
     caller passes ``compute_duration``; the gradient math happened up
     front, only its timing is staggered).
-
-    Returns the list of delivery signals, one per message sent.
     """
-    meta = dict(meta or {})
+    if meta is None:
+        meta = {}
     sparse: SparseGradient | None = None
     if rt.dgc_config is not None and grad is not None:
         assert slot.dgc is not None
@@ -231,20 +230,18 @@ def send_gradient_plan(
             grad = grad + wd * np.where(rt.decay_mask, slot.comp.get_params(), 0.0)
         sparse = slot.dgc.compress(grad, epoch=rt.sample_clock.epoch())
 
-    signals: list[Signal] = []
     tx_signals: list[Signal] = []
     entries = rt.comm_plan.entries
 
     if compute_duration is None:
         for entry in entries:
             payload, nbytes = _entry_payload_and_bytes(rt, slot, entry, grad, sparse)
-            if rt.obs is not None:
-                rt.obs.grad_bytes(slot.wid, nbytes)
+            if rt.obs_grad_bytes is not None:
+                rt.obs_grad_bytes(slot.wid, nbytes)
             shard_node = rt.ps_nodes[entry.shard_id]
-            tx = Signal() if block_tx else None
-            if tx is not None:
+            if block_tx:
+                tx = Signal()
                 tx_signals.append(tx)
-            signals.append(
                 slot.node.send(
                     shard_node,
                     kind,
@@ -254,12 +251,20 @@ def send_gradient_plan(
                     trace_worker=slot.wid,
                     tx_done=tx,
                 )
-            )
+            else:
+                slot.node.send_nowait(
+                    shard_node,
+                    kind,
+                    nbytes=nbytes,
+                    payload=payload,
+                    meta={**meta, "entry": entry.label},
+                    trace_worker=slot.wid,
+                )
         if tx_signals:
             # Blocking-send semantics: the caller does not regain
             # control until its NIC has serialised every message.
             yield AllOf(tx_signals)
-        return signals
+        return
 
     # Wait-free BP: walk the plan inside the compute window.
     rt.tracer.begin(slot.wid, "compute", rt.engine.now)
@@ -270,13 +275,12 @@ def send_gradient_plan(
             yield Timeout(ready - elapsed)
             elapsed = ready
         payload, nbytes = _entry_payload_and_bytes(rt, slot, entry, grad, sparse)
-        if rt.obs is not None:
-            rt.obs.grad_bytes(slot.wid, nbytes)
+        if rt.obs_grad_bytes is not None:
+            rt.obs_grad_bytes(slot.wid, nbytes)
         shard_node = rt.ps_nodes[entry.shard_id]
-        tx = Signal() if block_tx else None
-        if tx is not None:
+        if block_tx:
+            tx = Signal()
             tx_signals.append(tx)
-        signals.append(
             slot.node.send(
                 shard_node,
                 kind,
@@ -286,13 +290,20 @@ def send_gradient_plan(
                 trace_worker=slot.wid,
                 tx_done=tx,
             )
-        )
+        else:
+            slot.node.send_nowait(
+                shard_node,
+                kind,
+                nbytes=nbytes,
+                payload=payload,
+                meta={**meta, "entry": entry.label},
+                trace_worker=slot.wid,
+            )
     if elapsed < compute_duration:
         yield Timeout(compute_duration - elapsed)
     rt.tracer.end(slot.wid, "compute", rt.engine.now)
     if tx_signals:
         yield AllOf(tx_signals)
-    return signals
 
 
 def apply_reply_payload(rt: "Runtime", flat: np.ndarray | None, msg: Any) -> None:
@@ -330,7 +341,8 @@ def collect_shard_replies(
     vector or ``None``.
     """
     flat = slot.comp.get_params() if slot.comp is not None else None
+    get_reply = Get(slot.node.mailbox("reply"))
     for _ in range(count):
-        msg = yield slot.node.recv("reply")
+        msg = yield get_reply
         apply_reply_payload(rt, flat, msg)
     return flat

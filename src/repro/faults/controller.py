@@ -5,8 +5,9 @@ One controller per faulty run. It owns:
 * the **injector** process — replays the :class:`FaultSchedule` at its
   virtual-time stamps (crashes kill processes, outages crash whole
   machines, link events arm the :class:`LinkFaultModel`);
-* the **failure detector** — every worker runs a heartbeat loop
-  (:func:`repro.comm.endpoints.heartbeat_loop`) to a monitor node; the
+* the **failure detector** — every worker announces liveness to a
+  monitor node on a fixed beat (a self-rescheduling callback chain —
+  no generator, no per-beat process machinery); the
   monitor evicts a worker whose heartbeats stop, after
   ``max_suspect_rounds`` of exponentially backed-off suspicion. A crash
   is detected *honestly*: the controller kills the worker's processes
@@ -33,7 +34,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.comm.endpoints import Node, heartbeat_loop
+from repro.comm.endpoints import HEARTBEAT_BYTES, Node
 from repro.faults.checkpoint import capture_snapshot, restore_snapshot
 from repro.faults.config import GRAD_FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
 from repro.faults.gradfaults import GradFaultModel
@@ -64,17 +65,39 @@ class FaultController:
         self.algorithm = algorithm
         self.config = config
         self.schedule = FaultSchedule.from_config(config)
-        self.rng = np.random.default_rng(
-            [runtime.config.seed & 0x7FFFFFFF, config.seed & 0x7FFFFFFF, _RNG_STREAM_TAG]
+        # An empty schedule never consumes the fault stream; skipping
+        # the PCG64/SeedSequence construction keeps the armed-but-idle
+        # detector's fixed cost down. (Bit-safe: the stream's first
+        # draw, when it exists, is unchanged.)
+        self.rng = (
+            np.random.default_rng(
+                [
+                    runtime.config.seed & 0x7FFFFFFF,
+                    config.seed & 0x7FFFFFFF,
+                    _RNG_STREAM_TAG,
+                ]
+            )
+            if len(self.schedule)
+            else None
         )
         self.membership = Membership(range(runtime.config.num_workers))
         self.link_model = LinkFaultModel(self.rng)
         self.grad_model = GradFaultModel(self.rng)
-        runtime.ctx.network.fault_model = self.link_model
+        # Only schedules containing link events can ever arm the model;
+        # leaving ``network.fault_model`` unset otherwise keeps every
+        # transfer on the bare (faults-off) guard. Same idea for the
+        # per-gradient corruption hook.
+        if any(e.kind in ("partition", "drop") for e in self.schedule):
+            runtime.ctx.network.fault_model = self.link_model
+        self._grad_armed = any(e.kind in GRAD_FAULT_KINDS for e in self.schedule)
         # Processes owned by the training protocol: killed wholesale on
         # membership changes; a crash kills only its worker's entries.
         self._procs: list[tuple[Process, int | None]] = []
-        self._hb_procs: dict[int, Process] = {}
+        # Heartbeat cancellation tokens: a beat carries the token it was
+        # started under and goes silent the moment the slot's token moves
+        # on (crash/evict/quarantine bump it; rejoin starts a new chain).
+        self._hb_token: dict[int, int] = {}
+        self._hb_inline = False  # set for real in start()
         self._last_seen: dict[int, float] = {}
         self._suspicion: dict[int, int] = {}
         #: Workers whose processes are gone (crashed or fenced).
@@ -100,25 +123,131 @@ class FaultController:
         rt = self.rt
         self.monitor_node = Node(rt.ctx, rt.allocate_node_id(), 0, name="fd-monitor")
         rt.nodes_by_id[self.monitor_node.node_id] = self.monitor_node
-        for wid in self.membership.live_sorted():
-            self._start_heartbeat(wid)
-        rt.engine.spawn(self._monitor(), name="fd.monitor")
+        # Armed-but-idle fast path: with no scheduled faults, no robust
+        # layer (quarantines), no observer, and beat delivery faster
+        # than the beat period, nothing can ever go overdue — the epoch
+        # never bumps and the monitor never suspects, under either
+        # delivery semantics. A beat may then record its own arrival
+        # inline (one queue event per beat) instead of scheduling a
+        # delivery callback.
+        net = rt.ctx.network
+        self._hb_inline = (
+            len(self.schedule) == 0
+            and rt.robust is None
+            and rt.obs is None
+            and max(net._latency, net._intra_latency)
+            < self.config.heartbeat_interval
+        )
+        if self._hb_inline:
+            # The live set is provably constant, so all beat chains
+            # collapse into one group tick per period: one queue event
+            # where the per-worker chains would cost ``num_workers``.
+            # And since nothing can ever go overdue, the monitor's scan
+            # can never reach a suspicion — it has no observable effect
+            # and is elided entirely.
+            self._hb_slots = [
+                (wid, rt.workers[wid].node)
+                for wid in self.membership.live_sorted()
+            ]
+            rt.engine._at(self.config.heartbeat_interval, self._hb_tick_all, ())
+        else:
+            for wid in self.membership.live_sorted():
+                self._start_heartbeat(wid)
+            rt.engine.spawn(self._monitor(), name="fd.monitor")
         if len(self.schedule):
             rt.engine.spawn(self._injector(), name="fault.injector")
 
     def _start_heartbeat(self, wid: int) -> None:
-        rt = self.rt
-        assert self.monitor_node is not None
-        self._hb_procs[wid] = rt.engine.spawn(
-            heartbeat_loop(
-                rt.workers[wid].node,
-                self.monitor_node,
-                wid,
-                self.config.heartbeat_interval,
-                rt,
-            ),
-            name=f"hb.w{wid}",
+        token = self._hb_token.get(wid, 0) + 1
+        self._hb_token[wid] = token
+        self.rt.engine._at(
+            self.config.heartbeat_interval, self._hb_tick, (wid, token)
         )
+
+    def _stop_heartbeat(self, wid: int) -> None:
+        """Invalidate the worker's beat chain: the next tick sees a
+        stale token and falls silent — a dead worker never announces
+        its own death."""
+        if wid in self._hb_token:
+            self._hb_token[wid] += 1
+
+    def _hb_tick(self, wid: int, token: int) -> None:
+        """One beat: wire accounting, schedule the delivery, reschedule.
+
+        This is the armed-but-idle hot path — a plain callback chain,
+        two queue events per beat (tick + delivery) and nothing else.
+        """
+        rt = self.rt
+        if token != self._hb_token.get(wid) or rt.stopping:
+            return
+        assert self.monitor_node is not None
+        node = rt.workers[wid].node
+        node.sent_messages += 1
+        node.sent_bytes += HEARTBEAT_BYTES
+        engine = rt.engine
+        delay = rt.ctx.network.oob_delay(
+            node.machine, self.monitor_node.machine, HEARTBEAT_BYTES
+        )
+        engine._at(delay, self._hb_arrival, (wid, rt.ctx.epoch, engine.now))
+        engine._at(self.config.heartbeat_interval, self._hb_tick, (wid, token))
+
+    def _hb_tick_all(self) -> None:
+        """One beat for every worker at once — the armed-but-idle path.
+
+        Valid only under the ``_hb_inline`` proof in ``start``: the
+        live set never changes, the epoch never bumps, and nothing can
+        go overdue, so each arrival folds into the beat itself (the
+        same wire accounting and ``last_seen`` values the per-worker
+        chains produce, in the same worker order) and the whole
+        cluster's beats ride a single queue event per period.
+        """
+        rt = self.rt
+        if rt.stopping:
+            return
+        engine = rt.engine
+        network = rt.ctx.network
+        mon_machine = self.monitor_node.machine
+        now = engine.now
+        last_seen = self._last_seen
+        for wid, node in self._hb_slots:
+            node.sent_messages += 1
+            node.sent_bytes += HEARTBEAT_BYTES
+            last_seen[wid] = now + network.oob_delay(
+                node.machine, mon_machine, HEARTBEAT_BYTES
+            )
+        engine._at(self.config.heartbeat_interval, self._hb_tick_all, ())
+
+    def _hb_arrival(self, wid: int, epoch: int, send_time: float) -> None:
+        """Slim heartbeat delivery: the detector's arrival hook.
+
+        Replicates what a mailbox'd heartbeat would have done by the
+        next monitor tick — stale-epoch drop accounting, liveness
+        timestamp, suspicion clearing, observer message record — without
+        the Message/Signal/mailbox event chain. Detection decisions read
+        this state only at monitor ticks, so updating it at delivery
+        time is behaviourally identical to draining a mailbox at the
+        tick.
+        """
+        rt = self.rt
+        ctx = rt.ctx
+        if ctx.epoch != epoch:
+            ctx.dropped_messages += 1
+            return
+        now = rt.engine.now
+        if now > self._last_seen.get(wid, -1.0):
+            self._last_seen[wid] = now
+        self._suspicion.pop(wid, None)
+        obs = rt.obs
+        if obs is not None and obs.on_message_hook is not None:
+            assert self.monitor_node is not None
+            obs.on_message_hook(
+                src_machine=rt.workers[wid].machine,
+                dst_machine=self.monitor_node.machine,
+                kind="hb",
+                nbytes=HEARTBEAT_BYTES,
+                t_send=send_time,
+                t_recv=now,
+            )
 
     # -- fault injection -------------------------------------------------
     def _injector(self):
@@ -186,6 +315,8 @@ class FaultController:
     def corrupt_gradient(self, slot: "WorkerSlot", grad):
         """Apply any armed gradient faults to one worker's fresh
         gradient (called from the gradient-production hook)."""
+        if not self._grad_armed:
+            return grad
         grad, applied = self.grad_model.corrupt(slot.wid, grad, self.rt.engine.now)
         for kind in applied:
             self._record(kind, worker=slot.wid, machine=slot.machine)
@@ -200,9 +331,7 @@ class FaultController:
         self.dead.add(wid)
         self.iterations_lost += slot.iterations
         self._kill_owned(wid)
-        hb = self._hb_procs.pop(wid, None)
-        if hb is not None and hb.alive:
-            hb.kill()
+        self._stop_heartbeat(wid)
         slot.node.flush()
         rt.tracer.flush_open(rt.engine.now, worker=wid)
         self._record("crash", worker=wid, machine=slot.machine)
@@ -262,9 +391,7 @@ class FaultController:
         # Fencing: even if the worker is only partitioned, its processes
         # die now — it must not keep mutating state in the old epoch.
         self._kill_owned(wid)
-        hb = self._hb_procs.pop(wid, None)
-        if hb is not None and hb.alive:
-            hb.kill()
+        self._stop_heartbeat(wid)
         self.dead.add(wid)
         rt.tracer.flush_open(rt.engine.now, worker=wid)
         self.evictions.append(
@@ -288,9 +415,7 @@ class FaultController:
         rt = self.rt
         slot = rt.workers[wid]
         self._kill_owned(wid)
-        hb = self._hb_procs.pop(wid, None)
-        if hb is not None and hb.alive:
-            hb.kill()
+        self._stop_heartbeat(wid)
         self.dead.add(wid)
         self._suspicion.pop(wid, None)
         rt.tracer.flush_open(rt.engine.now, worker=wid)

@@ -32,15 +32,23 @@ class LinkFaultModel:
         self.drop_until: dict[int | None, tuple[float, float]] = {}
         self.messages_delayed = 0
         self.retransmits = 0
+        # End of the latest window ever armed. ``Network.transfer``
+        # skips the ``delivery_delay`` call entirely once ``now`` passes
+        # this — observationally identical (an expired window adds no
+        # delay and draws no RNG), but an armed-but-idle fault layer
+        # then costs one float compare per message instead of a call.
+        self.armed_until = float("-inf")
 
     # -- window management (called by the fault controller) --------------
     def partition(self, machine: int, until: float) -> None:
         self.partitioned_until[machine] = max(
             until, self.partitioned_until.get(machine, 0.0)
         )
+        self.armed_until = max(self.armed_until, until)
 
     def set_drop(self, machine: int | None, until: float, prob: float) -> None:
         self.drop_until[machine] = (until, prob)
+        self.armed_until = max(self.armed_until, until)
 
     # -- the Network.transfer hook ---------------------------------------
     def delivery_delay(

@@ -67,7 +67,16 @@ class FaultEventRecord:
 
 
 class RunObserver:
-    """Collects every observable signal of one simulated run."""
+    """Collects every observable signal of one simulated run.
+
+    Hook dispatch is specialized at construction: for every hot-path
+    hook there is a ``*_hook`` attribute that is the bound method when
+    the relevant recording dimension is on and ``None`` when it is off.
+    Instrumented sites cache the hook once and guard with ``is not
+    None`` — an observer that is attached but recording nothing
+    (armed-but-idle) therefore costs the sites nothing beyond the same
+    null check an unobserved run performs.
+    """
 
     def __init__(self, config: ObsConfig | None = None) -> None:
         self.config = config or ObsConfig(enabled=True)
@@ -79,6 +88,29 @@ class RunObserver:
         self._live_processes: dict[int, ProcessSpan] = {}
         self._metrics = self.config.metrics
         self._events = self.config.trace_events
+        # Metric-object caches for the hot hooks: registry lookups are
+        # get-or-create by formatted name, too slow for per-message and
+        # per-reservation call rates.
+        self._port_series: dict[str, tuple] = {}
+        self._compute_series: dict[int, object] = {}
+        self._inbox_series: dict[int, object] = {}
+        self._staleness_series: dict[tuple[int, int], object] = {}
+        self._grad_counters: dict[int, object] = {}
+        if self._metrics:
+            self._msg_count_inc = self.registry.counter("comm.messages").inc
+            self._msg_bytes_inc = self.registry.counter("comm.bytes").inc
+        # Pre-bound fast/slow selection (the specialization contract
+        # described in the class docstring).
+        metrics, events = self._metrics, self._events
+        self.link_sample_hook = self.link_sample if metrics else None
+        self.on_message_hook = self.on_message if (metrics or events) else None
+        self.process_started_hook = self.process_started if events else None
+        self.process_finished_hook = self.process_finished if events else None
+        self.compute_draw_hook = self.compute_draw if metrics else None
+        self.ps_inbox_sample_hook = self.ps_inbox_sample if metrics else None
+        self.staleness_sample_hook = self.staleness_sample if metrics else None
+        self.grad_bytes_hook = self.grad_bytes if metrics else None
+        self.iteration_sample_hook = self.iteration_sample if metrics else None
 
     # -- engine ---------------------------------------------------------
     def process_started(self, process: "Process", now: float) -> None:
@@ -108,12 +140,15 @@ class RunObserver:
         reservation on that port."""
         if not self._metrics:
             return
-        self.registry.series(f"net.{port.name}.bytes").observe(
-            now, float(port.bytes_served)
-        )
-        self.registry.series(f"net.{port.name}.busy_time").observe(
-            now, port.busy_time
-        )
+        pair = self._port_series.get(port.name)
+        if pair is None:
+            pair = (
+                self.registry.series(f"net.{port.name}.bytes").observe,
+                self.registry.series(f"net.{port.name}.busy_time").observe,
+            )
+            self._port_series[port.name] = pair
+        pair[0](now, float(port.bytes_served))
+        pair[1](now, port.busy_time)
 
     def on_message(
         self,
@@ -126,8 +161,8 @@ class RunObserver:
         t_recv: float,
     ) -> None:
         if self._metrics:
-            self.registry.counter("comm.messages").inc()
-            self.registry.counter("comm.bytes").inc(nbytes)
+            self._msg_count_inc()
+            self._msg_bytes_inc(nbytes)
         if self._events:
             self.messages.append(
                 MessageEvent(
@@ -142,30 +177,46 @@ class RunObserver:
 
     # -- parameter server -----------------------------------------------
     def ps_inbox_sample(self, shard_id: int, now: float, depth: int) -> None:
-        if self._metrics:
-            self.registry.series(f"ps{shard_id}.inbox_depth").observe(
-                now, float(depth)
-            )
+        if not self._metrics:
+            return
+        observe = self._inbox_series.get(shard_id)
+        if observe is None:
+            observe = self.registry.series(f"ps{shard_id}.inbox_depth").observe
+            self._inbox_series[shard_id] = observe
+        observe(now, float(depth))
 
     def staleness_sample(
         self, shard_id: int, worker: int, now: float, staleness: int
     ) -> None:
         """Updates applied to a shard between one worker's consecutive
         parameter pulls — the observed staleness of that pull."""
-        if self._metrics:
-            self.registry.series(f"ps{shard_id}.staleness.w{worker}").observe(
-                now, float(staleness)
-            )
+        if not self._metrics:
+            return
+        observe = self._staleness_series.get((shard_id, worker))
+        if observe is None:
+            observe = self.registry.series(f"ps{shard_id}.staleness.w{worker}").observe
+            self._staleness_series[(shard_id, worker)] = observe
+        observe(now, float(staleness))
 
     # -- workers ---------------------------------------------------------
     def compute_draw(self, worker: int, now: float, duration: float) -> None:
         """One straggler-jitter draw: the sampled compute duration."""
-        if self._metrics:
-            self.registry.series(f"w{worker}.compute_time").observe(now, duration)
+        if not self._metrics:
+            return
+        observe = self._compute_series.get(worker)
+        if observe is None:
+            observe = self.registry.series(f"w{worker}.compute_time").observe
+            self._compute_series[worker] = observe
+        observe(now, duration)
 
     def grad_bytes(self, worker: int, nbytes: int) -> None:
-        if self._metrics:
-            self.registry.counter(f"w{worker}.grad_bytes").inc(nbytes)
+        if not self._metrics:
+            return
+        inc = self._grad_counters.get(worker)
+        if inc is None:
+            inc = self.registry.counter(f"w{worker}.grad_bytes").inc
+            self._grad_counters[worker] = inc
+        inc(nbytes)
 
     def iteration_sample(self, worker: int, now: float, total_iterations: int) -> None:
         if self._metrics:

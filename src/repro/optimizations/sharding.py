@@ -98,15 +98,35 @@ class ShardingPlan:
         return max(s.num_elements for s in self.shards) / self.total_elements
 
     def validate(self) -> None:
-        """Check the plan is a partition of [0, total_elements)."""
-        covered = np.zeros(self.total_elements, dtype=np.int8)
+        """Check the plan is a partition of [0, total_elements).
+
+        Interval arithmetic on the range endpoints, not an element
+        bitmap: sorted non-empty ranges must tile [0, total) exactly.
+        Equivalent to the exactly-once-coverage check but O(ranges)
+        instead of O(parameters) — for ResNet-50 the bitmap was a 25M
+        element array allocated per runner construction.
+        """
+        spans = []
         for shard in self.shards:
             for start, stop in shard.ranges:
                 if not 0 <= start <= stop <= self.total_elements:
                     raise ValueError(f"range ({start}, {stop}) out of bounds")
-                covered[start:stop] += 1
-        if self.total_elements and not np.all(covered == 1):
-            raise ValueError("sharding plan is not a partition of the parameter vector")
+                if start < stop:
+                    spans.append((start, stop))
+        if not self.total_elements:
+            return
+        spans.sort()
+        pos = 0
+        for start, stop in spans:
+            if start != pos:  # gap (start > pos) or overlap (start < pos)
+                raise ValueError(
+                    "sharding plan is not a partition of the parameter vector"
+                )
+            pos = stop
+        if pos != self.total_elements:
+            raise ValueError(
+                "sharding plan is not a partition of the parameter vector"
+            )
 
 
 def _layer_offsets(profile: ModelProfile) -> list[tuple[int, int]]:

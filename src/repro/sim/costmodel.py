@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.nn.zoo import ModelProfile
 from repro.sim.cluster import GPUSpec
+from repro.sim.engine import Timeout
 
 __all__ = ["ComputeModel", "CommModel"]
 
@@ -47,14 +48,59 @@ class CommModel:
     # Gradient top-k selection cost for DGC (sampled threshold, ~1 pass).
     dgc_select_seconds_per_byte: float = 1.0 / 6e9
 
+    def __post_init__(self) -> None:
+        # Per-(kind, nbytes) result cache: runs call these with a
+        # handful of distinct message sizes, millions of times. A plain
+        # dict (not a dataclass field) so fingerprints, equality and
+        # pickling are untouched.
+        self._cache: dict[tuple[str, int], float] = {}
+        # Shared Timeout objects for the two per-message yield sites
+        # (ring reduce steps, PS aggregation). A Timeout is immutable
+        # once built, so yielding the same instance repeatedly is safe
+        # and skips an allocation per message.
+        self._timeout_cache: dict[tuple[str, int], Timeout] = {}
+
     def agg_time(self, nbytes: int) -> float:
-        return self.per_message_overhead_s + nbytes * self.agg_seconds_per_byte
+        key = ("agg", nbytes)
+        t = self._cache.get(key)
+        if t is None:
+            t = self.per_message_overhead_s + nbytes * self.agg_seconds_per_byte
+            self._cache[key] = t
+        return t
 
     def reduce_time(self, nbytes: int) -> float:
-        return self.per_message_overhead_s + nbytes * self.reduce_seconds_per_byte
+        key = ("reduce", nbytes)
+        t = self._cache.get(key)
+        if t is None:
+            t = self.per_message_overhead_s + nbytes * self.reduce_seconds_per_byte
+            self._cache[key] = t
+        return t
+
+    def agg_timeout(self, nbytes: int) -> Timeout:
+        """Shared ``Timeout(agg_time(nbytes))`` instance."""
+        key = ("agg", nbytes)
+        t = self._timeout_cache.get(key)
+        if t is None:
+            t = Timeout(self.agg_time(nbytes))
+            self._timeout_cache[key] = t
+        return t
+
+    def reduce_timeout(self, nbytes: int) -> Timeout:
+        """Shared ``Timeout(reduce_time(nbytes))`` instance."""
+        key = ("reduce", nbytes)
+        t = self._timeout_cache.get(key)
+        if t is None:
+            t = Timeout(self.reduce_time(nbytes))
+            self._timeout_cache[key] = t
+        return t
 
     def dgc_select_time(self, nbytes: int) -> float:
-        return nbytes * self.dgc_select_seconds_per_byte
+        key = ("dgc", nbytes)
+        t = self._cache.get(key)
+        if t is None:
+            t = nbytes * self.dgc_select_seconds_per_byte
+            self._cache[key] = t
+        return t
 
 
 class ComputeModel:
@@ -110,6 +156,18 @@ class ComputeModel:
         # Persistent speeds uniform in [1 - spread, 1]: worker ranks keep
         # stable fast/slow identities across the whole run.
         self.speeds = 1.0 - self._rng.uniform(0.0, speed_spread, size=num_workers)
+        # Per-worker base durations, precomputed after base_time is set
+        # (see end of __init__): iteration_time is called once per
+        # iteration per worker and must not redo the division.
+        self._base_by_worker: np.ndarray | None = None
+        # Lognormal jitter is drawn in prefilled blocks consumed in call
+        # order. Block draws are bitwise-identical to scalar draws
+        # (``rng.normal(0, s, size=n)`` advances the stream exactly like
+        # n scalar calls, and array ``np.exp`` matches the scalar ufunc
+        # element-for-element), so results are unchanged — only the
+        # per-draw numpy overhead is amortised away.
+        self._jitter_block: np.ndarray | None = None
+        self._jitter_pos = 0
         # Observability hook: called as on_draw(worker, duration) for
         # every sampled iteration time. The runner installs it so every
         # draw site (workers, BSP leaders/peers) is captured without
@@ -125,15 +183,29 @@ class ComputeModel:
             self.base_time = base_time_override
         else:
             self.base_time = profile.train_flops * batch_size / gpu.effective_flops
+        self._base_by_worker = (self.base_time / self.speeds).tolist()
+
+    _JITTER_BLOCK = 512
+
+    def _refill_jitter(self) -> np.ndarray:
+        block = np.exp(self._rng.normal(0.0, self.jitter_sigma, size=self._JITTER_BLOCK))
+        self._jitter_block = block
+        self._jitter_pos = 0
+        return block
 
     def iteration_time(self, worker: int) -> float:
         """Sample the compute duration of one iteration for ``worker``."""
         if not 0 <= worker < self.num_workers:
             raise ValueError(f"worker {worker} out of range")
-        jitter = 1.0
+        duration = self._base_by_worker[worker]
         if self.jitter_sigma > 0:
-            jitter = float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
-        duration = self.base_time / self.speeds[worker] * jitter
+            block = self._jitter_block
+            pos = self._jitter_pos
+            if block is None or pos >= self._JITTER_BLOCK:
+                block = self._refill_jitter()
+                pos = 0
+            self._jitter_pos = pos + 1
+            duration *= block[pos]
         if self.on_draw is not None:
             self.on_draw(worker, duration)
         return duration

@@ -19,10 +19,17 @@ All wake-ups go through the event queue (never reentrant calls), and
 ties are FIFO-ordered, so runs are deterministic given fixed seeds.
 This mirrors the structure of SimPy but is self-contained, dependency
 free, and only ~250 lines — small enough to property-test exhaustively.
+
+Hot-path discipline (see ``sim/events.py``): wake-ups are scheduled as
+preallocated ``(fn, args)`` pairs, never closures, and zero-delay
+wake-ups ride the queue's FIFO lane (``Engine._immediate``) instead of
+the heap. Both preserve the exact global ``(time, seq)`` order the
+seed engine produced, so schedules stay bit-identical.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
@@ -72,20 +79,28 @@ class Timeout:
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
         token = process._token
-        engine._schedule(self.delay, lambda: process._resume(None, token))
+        if self.delay == 0.0:
+            engine._immediate(process._resume, (None, token))
+        else:
+            engine._at(self.delay, process._resume, (None, token))
 
 
 class Signal:
-    """One-shot broadcast event carrying an optional value."""
+    """One-shot broadcast event carrying an optional value.
+
+    Waiters are stored as ``(fn, extra)`` pairs invoked as
+    ``fn(value, *extra)`` — a process waiter is ``(proc._resume,
+    (token,))`` with no closure allocated.
+    """
 
     __slots__ = ("triggered", "value", "_waiters")
 
     def __init__(self) -> None:
         self.triggered = False
         self.value: Any = None
-        self._waiters: list[Callable[[Any], None]] = []
+        self._waiters: list[tuple[Callable[..., None], tuple]] = []
 
-    def trigger(self, value: Any = None, *, engine: "Engine" | None = None) -> None:
+    def trigger(self, value: Any = None, engine: "Engine" | None = None) -> None:
         """Fire the signal, waking all current and future waiters.
 
         If ``engine`` is given, wake-ups are scheduled as zero-delay
@@ -96,18 +111,19 @@ class Signal:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for wake in waiters:
-            if engine is not None:
-                engine._schedule(0.0, lambda w=wake: w(value))
-            else:
-                wake(value)
+        if engine is not None:
+            for fn, extra in waiters:
+                engine._immediate(fn, (value, *extra))
+        else:
+            for fn, extra in waiters:
+                fn(value, *extra)
 
     def _subscribe(self, engine: "Engine", process: "Process") -> None:
         token = process._token
         if self.triggered:
-            engine._schedule(0.0, lambda: process._resume(self.value, token))
+            engine._immediate(process._resume, (self.value, token))
         else:
-            self._waiters.append(lambda value: process._resume(value, token))
+            self._waiters.append((process._resume, (token,)))
 
 
 class AllOf:
@@ -126,8 +142,8 @@ class AllOf:
         pending = [s for s in self.signals if not s.triggered]
         remaining = len(pending)
         if remaining == 0:
-            engine._schedule(
-                0.0, lambda: process._resume([s.value for s in self.signals], token)
+            engine._immediate(
+                process._resume, ([s.value for s in self.signals], token)
             )
             return
         state = {"remaining": remaining}
@@ -138,7 +154,7 @@ class AllOf:
                 process._resume([s.value for s in self.signals], token)
 
         for signal in pending:
-            signal._waiters.append(on_one)
+            signal._waiters.append((on_one, ()))
 
 
 class Store:
@@ -159,7 +175,7 @@ class Store:
         while self._getters:
             process, token = self._getters.popleft()
             if process.alive and token == process._token:
-                self._engine._schedule(0.0, lambda: self._deliver(process, token, item))
+                self._engine._immediate(self._deliver, (process, token, item))
                 return
         self._items.append(item)
 
@@ -194,7 +210,7 @@ class Get:
         token = process._token
         if store._items:
             item = store._items.popleft()
-            engine._schedule(0.0, lambda: store._deliver(process, token, item))
+            engine._immediate(store._deliver, (process, token, item))
         else:
             store._getters.append((process, token))
 
@@ -251,9 +267,7 @@ class Barrier:
         arrivals, self._arrivals = self._arrivals, []
         for process, token in arrivals:
             process._cancel_wait = None
-            self._engine._schedule(
-                0.0, lambda p=process, t=token: p._resume(generation, t)
-            )
+            self._engine._immediate(process._resume, (generation, token))
 
     def _discard_entry(self, entry: tuple["Process", int]) -> None:
         try:
@@ -317,7 +331,7 @@ class Process:
             return
         self._invalidate_wait()
         token = self._token
-        self._engine._schedule(0.0, lambda: self._throw(Interrupt(cause), token))
+        self._engine._immediate(self._throw, (Interrupt(cause), token))
 
     def kill(self, cause: Any = None) -> None:
         """Terminate the process immediately (synchronously).
@@ -388,8 +402,9 @@ class Process:
 
     def _finish(self, value: Any) -> None:
         self.alive = False
-        if self._engine._observer is not None:
-            self._engine._observer.process_finished(self, self._engine.now)
+        obs_finished = self._engine._obs_proc_finished
+        if obs_finished is not None:
+            obs_finished(self, self._engine.now)
         if not self.done.triggered:
             self.done.trigger(value, engine=self._engine)
 
@@ -426,23 +441,44 @@ class Engine:
         self._observer = observer
         self._depth_series = None
         self._depth_stride = 0
+        # Pre-bound process-lifetime hooks: None unless the observer is
+        # actually recording trace events, so armed-but-idle costs the
+        # same null check as obs-off.
+        self._obs_proc_started = None
+        self._obs_proc_finished = None
         if observer is not None:
             self._depth_series = observer.queue_depth_series()
             self._depth_stride = observer.config.queue_sample_every
+            self._obs_proc_started = observer.process_started_hook
+            self._obs_proc_finished = observer.process_finished_hook
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a no-arg callback after ``delay`` (legacy API)."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        self._queue.push(self.now + delay, callback)
+        if delay == 0.0:
+            self._queue.push_lane(self.now, callback, ())
+        else:
+            self._queue.push_call(self.now + delay, callback, ())
+
+    def _at(self, delay: float, fn: Callable[..., None], args: tuple) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` without a closure.
+
+        Internal fast path: callers guarantee ``delay >= 0``.
+        """
+        self._queue.push_call(self.now + delay, fn, args)
+
+    def _immediate(self, fn: Callable[..., None], args: tuple) -> None:
+        """Schedule ``fn(*args)`` at the current time on the FIFO lane."""
+        self._queue.push_lane(self.now, fn, args)
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a new process; it first runs at the current time."""
         process = Process(self, gen, name)
-        if self._observer is not None:
-            self._observer.process_started(process, self.now)
-        token = process._token
-        self._schedule(0.0, lambda: process._resume(None, token))
+        if self._obs_proc_started is not None:
+            self._obs_proc_started(process, self.now)
+        self._queue.push_lane(self.now, process._resume, (None, process._token))
         return process
 
     def store(self) -> Store:
@@ -466,25 +502,49 @@ class Engine:
         Raises the first process error (chained) if any process died.
         """
         self._stopped = False
-        while not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            event = self._queue.pop()
-            assert event is not None
-            self.now = event.time
-            event.callback()
-            self._events_processed += 1
-            if (
-                self._depth_series is not None
-                and self._events_processed % self._depth_stride == 0
-            ):
-                self._depth_series.observe(self.now, float(len(self._queue)))
-            if self._events_processed >= max_events:
-                raise RuntimeError(f"exceeded max_events={max_events}; likely a livelock")
+        # The merge of heap and zero-delay lane is inlined here (see
+        # sim/events.py for the ordering contract): this loop runs once
+        # per simulated event and is the hottest code in the repo.
+        queue = self._queue
+        heap = queue._heap
+        lane = queue._lane
+        heappop = heapq.heappop
+        depth_series = self._depth_series
+        stride = self._depth_stride
+        events = self._events_processed
+        try:
+            while not self._stopped:
+                while heap and heap[0][2] is None:  # skip cancelled
+                    heappop(heap)
+                if lane:
+                    head = lane[0]
+                    if heap and heap[0] < head:
+                        head = heap[0]
+                        from_lane = False
+                    else:
+                        from_lane = True
+                elif heap:
+                    head = heap[0]
+                    from_lane = False
+                else:
+                    break
+                now = head[0]
+                if until is not None and now > until:
+                    self.now = until
+                    break
+                entry = lane.popleft() if from_lane else heappop(heap)
+                queue._live -= 1
+                self.now = now
+                entry[2](*entry[3])
+                events += 1
+                if depth_series is not None and events % stride == 0:
+                    depth_series.observe(now, float(queue._live))
+                if events >= max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+        finally:
+            self._events_processed = events
         if self._errors:
             process, exc = self._errors[0]
             raise RuntimeError(f"process {process.name!r} failed at t={self.now:.6f}") from exc

@@ -105,5 +105,9 @@ class TestObsConfig:
         assert cfg.metrics and cfg.trace_events
 
     def test_bad_sample_stride_raises(self):
+        # A zero stride would reach Engine.run's modulo as a
+        # ZeroDivisionError mid-run; it must die at construction.
         with pytest.raises(ValueError):
             ObsConfig(queue_sample_every=0)
+        with pytest.raises(ValueError):
+            ObsConfig(queue_sample_every=-4)
