@@ -8,7 +8,10 @@ iterations) three ways:
   (``metrics=False, trace_events=False``): every hook site sees a
   pre-bound ``None`` hook, so this must track ``off_s`` within noise;
 * ``on_s``   — full observability (metrics + trace events);
-* ``built_s``— observability plus Perfetto trace assembly.
+* ``built_s``— observability plus Perfetto trace assembly;
+* ``analyzed_s`` — observability plus span-DAG reconstruction and
+  critical-path attribution (``analyze_run``), the ``repro analyze``
+  post-processing cost.
 
 The contract this guards: with observability **off**, the per-call
 ``if obs is not None`` guards must cost ~nothing — the obs-off runtime
@@ -33,7 +36,7 @@ import pytest
 
 from repro.core.runner import DistributedRunner, execute_run
 from repro.experiments.config import timing_config
-from repro.obs import ObsConfig, build_trace
+from repro.obs import ObsConfig, analyze_run, build_trace
 
 pytestmark = pytest.mark.slow
 
@@ -82,6 +85,12 @@ def test_obs_overhead():
 
     built_s = _best_of(observed_and_built)
 
+    def observed_and_analyzed():
+        report = analyze_run(observed())
+        assert report["max_residual"] <= 1e-6  # analysis stays exact
+
+    analyzed_s = _best_of(observed_and_analyzed)
+
     records = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else []
     baseline = min((r["off_s"] for r in records), default=None)
 
@@ -91,6 +100,7 @@ def test_obs_overhead():
         "idle_s": round(idle_s, 4),
         "on_s": round(on_s, 4),
         "built_s": round(built_s, 4),
+        "analyzed_s": round(analyzed_s, 4),
         "idle_overhead": round(idle_s / off_s - 1, 4),
         "on_overhead": round(on_s / off_s - 1, 4),
         "off_vs_baseline": (
@@ -112,3 +122,6 @@ def test_obs_overhead():
     # blow the run up. Armed-but-idle must be essentially free.
     assert idle_s < off_s * 1.5
     assert on_s < off_s * 3
+    # The analyzer is pure post-processing on recorded state; its cost
+    # must stay the same order as the run it analyzes.
+    assert analyzed_s < off_s * 4

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["line_chart", "fig1_chart", "fig2_chart"]
+__all__ = ["line_chart", "fig1_chart", "fig2_chart", "attribution_report"]
 
 _MARKS = "ox+*#@%&"
 
@@ -97,6 +97,71 @@ def fig1_chart(series: Mapping[str, Mapping[str, Sequence[float]]]) -> str:
             y_label="error",
         )
     )
+
+
+def _bar(fraction: float, width: int = 40) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def attribution_report(report: dict, *, title: str = "") -> str:
+    """Render a :func:`repro.obs.critpath.analyze_dag` report for the
+    terminal: critical-path attribution bars, straggler flags, and the
+    what-if projection table."""
+    lines: list[str] = []
+    header = title or (
+        f"Critical-path analysis — {report.get('algorithm', 'run')} "
+        f"({report.get('num_workers', '?')} workers)"
+    )
+    lines.append(header)
+    lines.append("=" * len(header))
+    span = report.get("span", [0.0, 0.0])
+    lines.append(
+        f"{report['windows']} iteration window(s) over "
+        f"[{span[0]:.3f}s, {span[1]:.3f}s] — "
+        f"{report['totals']['total']:.3f}s of critical path"
+    )
+    lines.append("")
+    for category in ("compute", "comm", "wait"):
+        frac = report["fractions"][category]
+        lines.append(
+            f"  {category:>7s} {_bar(frac)} {100 * frac:5.1f}%  "
+            f"({report['totals'][category]:.3f}s)"
+        )
+    lines.append(f"\n  {report['summary']}")
+    if report.get("straggler_slack", 0.0) > 0:
+        lines.append(f"  straggler slack: {report['straggler_slack']:.3f}s")
+    if report.get("overlap_saved", 0.0) > 0:
+        lines.append(f"  overlap saved (wait-free BP): {report['overlap_saved']:.3f}s")
+
+    stragglers = report.get("stragglers", {})
+    flagged_workers = stragglers.get("workers", [])
+    flagged_links = stragglers.get("links", [])
+    lines.append("")
+    if flagged_workers or flagged_links:
+        if flagged_workers:
+            lines.append(
+                "  stragglers (>k*MAD): workers "
+                + ", ".join(f"w{w}" for w in flagged_workers)
+            )
+        if flagged_links:
+            lines.append("  slow links (>k*MAD): " + ", ".join(flagged_links))
+    else:
+        lines.append("  no stragglers detected (>k*MAD)")
+
+    whatif = report.get("whatif", {})
+    if whatif:
+        total = report["totals"]["total"]
+        lines.append("")
+        lines.append("  what-if projections (same-path re-costing, lower bounds):")
+        lines.append(f"    {'scenario':<14s} {'time':>9s} {'speedup':>8s}  note")
+        lines.append(f"    {'measured':<14s} {total:>8.3f}s {'1.00x':>8s}")
+        for name, proj in whatif.items():
+            lines.append(
+                f"    {name:<14s} {proj['projected_time']:>8.3f}s "
+                f"{proj['speedup']:>7.2f}x  {proj['note']}"
+            )
+    return "\n".join(lines)
 
 
 def fig2_chart(result) -> str:

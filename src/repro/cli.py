@@ -14,6 +14,10 @@ Usage::
     python -m repro train bsp --workers 8 --epochs 10
     python -m repro trace fig3 --out fig3_trace.json
     python -m repro run fig3 --trace-out fig3_trace.json
+    python -m repro analyze fig3 [--iters 10] [--json report.json]
+    python -m repro analyze bsp --workers 4 --iters 5 --check
+    python -m repro run fig3 --analyze
+    python -m repro train asp --workers 8 --analyze --output out.json
     python -m repro faults [--workers 8] [--scenarios crash,partition]
     python -m repro byzantine [--byzantine 1] [--aggregators mean,median,krum]
     python -m repro train bsp --fault-spec faults.json --fault-seed 3
@@ -48,6 +52,19 @@ https://ui.perfetto.dev or chrome://tracing. ``run --trace-out``
 instruments a *representative* run of the experiment (the sweep
 itself stays uninstrumented and cacheable); ``train --trace-out``
 instruments the actual training run.
+
+``analyze`` (or ``--analyze`` on ``run``/``train``) reconstructs the
+causal span DAG of one instrumented run, extracts the per-iteration
+critical path, and prints where the wall time went
+(compute/comm/wait), which workers or links straggle, and what-if
+projections (free comm, 10x links, slowest worker removed). The
+target is an experiment name (representative run) or a bare algorithm
+name (timing run). ``--json`` writes the full report; ``--trace-out``
+adds a critical-path highlight lane to the Perfetto export;
+``--check`` exits non-zero unless the attribution is conservative
+(sums to wall time) — the CI smoke mode. Sweeps additionally report a
+per-algorithm attribution summary derived from their traced results,
+and ``--output`` JSON carries it under ``"attribution_summary"``.
 """
 
 from __future__ import annotations
@@ -104,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export a Perfetto trace of one representative run here",
     )
+    _add_analyze_arg(run)
     _add_profile_arg(run)
     _add_fault_spec_args(run)
 
@@ -120,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export a Perfetto trace of this training run here",
     )
+    _add_analyze_arg(train)
     _add_profile_arg(train)
     _add_fault_spec_args(train)
 
@@ -180,6 +199,39 @@ def build_parser() -> argparse.ArgumentParser:
     byz.add_argument("--no-cache", action="store_true")
     byz.add_argument("--cache-dir", type=str, default=None)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path analysis of one instrumented run",
+    )
+    analyze.add_argument(
+        "target",
+        help="experiment name (representative run) or algorithm name (timing run)",
+    )
+    analyze.add_argument("--workers", type=int, default=None)
+    analyze.add_argument("--iters", type=int, default=None, help="measured iterations (timing runs)")
+    analyze.add_argument("--epochs", type=float, default=None, help="training epochs (accuracy experiments)")
+    analyze.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
+    analyze.add_argument("--bandwidth", type=float, default=10.0, help="Gbps (timing runs)")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--json", type=str, default=None, help="write the full analysis report here"
+    )
+    analyze.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="also export a Perfetto trace with the critical path highlighted",
+    )
+    analyze.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless the attribution is conservative "
+            "(compute+comm+wait sums to wall time; CI smoke mode)"
+        ),
+    )
+    _add_fault_spec_args(analyze)
+
     trace = sub.add_parser(
         "trace", help="export a Perfetto trace of one representative run"
     )
@@ -205,6 +257,18 @@ def _add_profile_arg(sub: argparse.ArgumentParser) -> None:
         help=(
             "profile the command under cProfile: dump raw pstats here and "
             "print the top-20 functions by cumulative time to stderr"
+        ),
+    )
+
+
+def _add_analyze_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "critical-path analysis of the instrumented run: print the "
+            "compute/comm/wait attribution report (and include it in "
+            "--output JSON)"
         ),
     )
 
@@ -364,22 +428,38 @@ def _run_experiment(args: argparse.Namespace) -> tuple[str, Any]:
     raise ValueError(f"unknown experiment {args.experiment!r}")  # pragma: no cover
 
 
-def _instrumented_run(cfg: Any, trace_path: str, label: str) -> Any:
-    """Run ``cfg`` with observability on and export its Perfetto trace."""
+def _instrumented_run(
+    cfg: Any, trace_path: str | None, label: str, *, analyze: bool = False
+) -> tuple[Any, dict | None]:
+    """Run ``cfg`` with observability on; optionally export its
+    Perfetto trace and/or run critical-path analysis.
+
+    One observed run serves both outputs: the trace (with the
+    extracted critical path as a highlight lane when analyzing) and
+    the analysis report. Returns ``(result, report-or-None)``.
+    """
     from repro.core.runner import DistributedRunner
-    from repro.obs import ObsConfig, write_trace
+    from repro.obs import ObsConfig, analyze_run, write_trace
 
     runner = DistributedRunner(cfg, obs=ObsConfig(enabled=True))
     result = runner.run()
-    path = write_trace(
-        trace_path,
-        tracer=runner.ctx.tracer,
-        observer=runner.observer,
-        cluster=cfg.cluster,
-        label=label,
-    )
-    print(f"[trace written to {path}]")
-    return result
+    report = None
+    if analyze:
+        report = analyze_run(runner, keep_segments=trace_path is not None)
+    if trace_path is not None:
+        path = write_trace(
+            trace_path,
+            tracer=runner.ctx.tracer,
+            observer=runner.observer,
+            cluster=cfg.cluster,
+            label=label,
+            critpath=report,
+        )
+        print(f"[trace written to {path}]")
+    if report is not None:
+        # The raw path segments only matter to the trace export.
+        report.pop("segments", None)
+    return result, report
 
 
 def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
@@ -395,12 +475,16 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
         seed=args.seed,
         fabric=args.fabric,
     )
-    if args.trace_out:
-        history = _instrumented_run(
-            cfg, args.trace_out, f"repro train {args.algorithm}"
+    if args.trace_out or args.analyze:
+        history, report = _instrumented_run(
+            cfg,
+            args.trace_out,
+            f"repro train {args.algorithm}",
+            analyze=args.analyze,
         )
     else:
         history = DistributedRunner(cfg).run()
+        report = None
     rows = [
         [round(e, 2), round(t, 1), acc]
         for e, t, acc in zip(history.epochs, history.times, history.test_accuracy)
@@ -412,6 +496,12 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
     )
     text += f"\nfinal accuracy: {history.final_test_accuracy:.4f}"
     payload = history_to_dict(history)
+    if report is not None:
+        from repro.analysis.ascii import attribution_report
+
+        text += "\n\n" + attribution_report(report)
+        payload["analysis"] = report
+        payload["attribution_summary"] = report["summary"]
     fault_summary = history.metadata.get("faults")
     if fault_summary is not None:
         payload["faults"] = fault_summary
@@ -436,6 +526,94 @@ def _run_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     _instrumented_run(cfg, args.out, f"repro trace {args.experiment}")
+    return 0
+
+
+def _analyze_config(args: argparse.Namespace) -> Any:
+    """Resolve the ``analyze`` target to one RunConfig: an experiment
+    name maps to its representative run, a bare algorithm name to a
+    small timing run."""
+    from repro.core import ALGORITHMS
+    from repro.experiments.config import representative_config, timing_config
+
+    target = args.target.lower()
+    if target in EXPERIMENTS:
+        return representative_config(
+            target,
+            workers=args.workers,
+            iters=args.iters,
+            epochs=args.epochs,
+            model=args.model,
+            bandwidth_gbps=args.bandwidth,
+            seed=args.seed,
+        )
+    key = target.replace("_", "-")
+    if key not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown analyze target {args.target!r}: expected an experiment "
+            f"({', '.join(e for e in EXPERIMENTS if e != 'table1')}) "
+            f"or an algorithm ({', '.join(sorted(ALGORITHMS))})"
+        )
+    kwargs: dict[str, Any] = dict(
+        num_workers=args.workers if args.workers is not None else 8,
+        bandwidth_gbps=args.bandwidth,
+        model=args.model,
+        seed=args.seed,
+    )
+    if args.iters is not None:
+        kwargs["measure_iters"] = args.iters
+    return timing_config(key, **kwargs)
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii import attribution_report
+
+    cfg = _analyze_config(args)
+    result, report = _instrumented_run(
+        cfg, args.trace_out, f"repro analyze {args.target}", analyze=True
+    )
+    if cfg.algorithm == "bsp" and getattr(result, "breakdown", None):
+        from repro.analysis.breakdown import fig3_crosscheck
+
+        report["fig3_crosscheck"] = fig3_crosscheck(
+            result.breakdown, report["fractions"]
+        )
+    print(attribution_report(report))
+    crosscheck = report.get("fig3_crosscheck")
+    if crosscheck is not None:
+        print(
+            f"\nFig 3 model cross-check: "
+            f"{'agrees' if crosscheck['agrees'] else 'DISAGREES'} "
+            f"(compute-fraction diff {crosscheck['diffs']['compute']:.3f}, "
+            f"tolerance {crosscheck['tolerance']:.2f})"
+        )
+    if args.json:
+        path = save_json(report, args.json)
+        print(f"\n[report written to {path}]")
+    if args.check:
+        attributed = (
+            report["totals"]["compute"]
+            + report["totals"]["comm"]
+            + report["totals"]["wait"]
+        )
+        total = report["totals"]["total"]
+        gap = abs(attributed - total)
+        ok = (
+            report["windows"] > 0
+            and report["max_residual"] <= 1e-6
+            and gap <= 1e-6
+            and report["truncated_windows"] == 0
+        )
+        measured = getattr(result, "measured_time", None)
+        if ok and measured is not None and cfg.mode == "timing":
+            ok = abs(total - measured) <= 1e-6 * max(1.0, measured)
+        print(
+            f"\ncheck: {'OK' if ok else 'FAILED'} — {report['windows']} window(s), "
+            f"attributed-vs-wall gap {gap:.2e}, "
+            f"max per-window residual {report['max_residual']:.2e}, "
+            f"{report['truncated_windows']} truncated"
+        )
+        return 0 if ok else 1
     return 0
 
 
@@ -472,6 +650,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_trace(args)
     sweep_stats = None
     _install_fault_spec(args)
+    if args.command == "analyze":
+        return _run_analyze(args)
     if args.command in ("run", "faults", "byzantine"):
         from repro.experiments.executor import SweepExecutor, set_default_executor
 
@@ -495,7 +675,13 @@ def _dispatch(args: argparse.Namespace) -> int:
     print(text)
     if sweep_stats is not None:
         print(f"\nsweep stats: {sweep_stats.summary()}")
-    if args.command == "run" and args.trace_out:
+        if sweep_stats.attribution:
+            from repro.obs import attribution_summary_line
+
+            for algo, attr in sweep_stats.attribution.items():
+                print(f"attribution[{algo}]: {attribution_summary_line(attr)}")
+    analysis = None
+    if args.command == "run" and (args.trace_out or getattr(args, "analyze", False)):
         from repro.experiments.config import representative_config
 
         try:
@@ -508,12 +694,40 @@ def _dispatch(args: argparse.Namespace) -> int:
                 bandwidth_gbps=args.bandwidth,
             )
         except ValueError as exc:
-            print(f"[no trace: {exc}]", file=sys.stderr)
+            print(f"[no instrumented run: {exc}]", file=sys.stderr)
         else:
-            _instrumented_run(cfg, args.trace_out, f"repro run {args.experiment}")
+            _, analysis = _instrumented_run(
+                cfg,
+                args.trace_out,
+                f"repro run {args.experiment}",
+                analyze=args.analyze,
+            )
+            if analysis is not None:
+                from repro.analysis.ascii import attribution_report
+
+                print()
+                print(
+                    attribution_report(
+                        analysis,
+                        title=(
+                            f"Critical-path analysis — {args.experiment} "
+                            f"(representative {cfg.algorithm} run)"
+                        ),
+                    )
+                )
     if args.output:
         if args.command in ("run", "faults", "byzantine") and sweep_stats is not None:
             payload: Any = {"result": result, "sweep_stats": sweep_stats.to_dict()}
+            if sweep_stats.attribution:
+                from repro.obs import attribution_summary_line
+
+                payload["attribution_summary"] = {
+                    algo: attribution_summary_line(attr)
+                    for algo, attr in sweep_stats.attribution.items()
+                }
+            if analysis is not None:
+                payload["analysis"] = analysis
+                payload["attribution_summary"] = analysis["summary"]
         else:
             payload = result
         path = save_json(payload, args.output)

@@ -200,6 +200,8 @@ class Node:
                 nbytes=msg.nbytes,
                 t_send=msg.send_time,
                 t_recv=now,
+                src_node=self.node_id,
+                dst_node=dst.node_id,
             )
         dst.mailbox(msg.kind).put(msg)
 

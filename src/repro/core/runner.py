@@ -678,7 +678,10 @@ class DistributedRunner:
         self.engine.run(until=horizon, max_events=max_events)
         if self.observer is not None:
             self.observer.finalize(
-                engine=self.engine, network=self.network, tracer=self.ctx.tracer
+                engine=self.engine,
+                network=self.network,
+                tracer=self.ctx.tracer,
+                runtime=self.runtime,
             )
         if self.config.mode == "full":
             # Final evaluation at the stop point.

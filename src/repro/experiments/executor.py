@@ -32,7 +32,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -234,15 +234,29 @@ class SweepStats:
     executed: int = 0  # simulator runs performed
     jobs: int = 1  # pool width used for the misses
     wall_time: float = 0.0  # wall-clock seconds the map() call took
+    #: mean compute/comm/wait fractions per algorithm over the sweep's
+    #: traced results (each entry carries its contributing ``runs``
+    #: count); empty when no result had a phase breakdown.
+    attribution: dict = field(default_factory=dict)
 
     def merge(self, other: "SweepStats") -> None:
-        """Accumulate another sweep's stats (pool width: the widest)."""
+        """Accumulate another sweep's stats (pool width: the widest;
+        attribution: run-count-weighted mean per algorithm)."""
         self.total += other.total
         self.unique += other.unique
         self.cache_hits += other.cache_hits
         self.executed += other.executed
         self.wall_time += other.wall_time
         self.jobs = max(self.jobs, other.jobs)
+        for algo, attr in other.attribution.items():
+            mine = self.attribution.get(algo)
+            if mine is None:
+                self.attribution[algo] = dict(attr)
+                continue
+            runs = mine["runs"] + attr["runs"]
+            for k in ("compute", "comm", "wait"):
+                mine[k] = (mine[k] * mine["runs"] + attr[k] * attr["runs"]) / runs
+            mine["runs"] = runs
 
     def to_dict(self) -> dict:
         return {
@@ -252,6 +266,7 @@ class SweepStats:
             "executed": self.executed,
             "jobs": self.jobs,
             "wall_time": self.wall_time,
+            "attribution": self.attribution,
         }
 
     def summary(self) -> str:
@@ -357,14 +372,21 @@ class SweepExecutor:
                 if self.cache is not None:
                     self.cache.put(fp, payload)
 
+        # Materialise one result object per submitted config (identical
+        # configs share a payload but never an object).
+        results = [
+            _payload_to_result(payloads[fp], cfg) for cfg, fp in zip(configs, prints)
+        ]
+        # Attribution rides along for free: traced timing results carry
+        # their phase breakdown, so sweeps can report where the time
+        # went without any extra simulator work.
+        from repro.analysis.breakdown import aggregate_result_attribution
+
+        stats.attribution = aggregate_result_attribution(results)
         stats.wall_time = time.perf_counter() - t0
         self.last_stats = stats
         self.total_stats.merge(stats)
-        # Materialise one result object per submitted config (identical
-        # configs share a payload but never an object).
-        return [
-            _payload_to_result(payloads[fp], cfg) for cfg, fp in zip(configs, prints)
-        ]
+        return results
 
     #: Pool rebuilds attempted after a BrokenProcessPool before falling
     #: back to in-process serial execution.

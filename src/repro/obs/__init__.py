@@ -13,7 +13,11 @@ attribution credible:
   recorder the instrumented stack reports into (comm messages, engine
   process lifetimes, metric samples);
 * :mod:`repro.obs.perfetto` — export of one observed run as
-  Chrome/Perfetto trace-event JSON (``repro trace``, ``--trace-out``).
+  Chrome/Perfetto trace-event JSON (``repro trace``, ``--trace-out``);
+* :mod:`repro.obs.spans` / :mod:`repro.obs.critpath` — post-hoc causal
+  span-DAG reconstruction, critical-path extraction with
+  compute/comm/wait attribution, straggler detection, and what-if
+  projections (``repro analyze``, ``--analyze``).
 
 Everything is opt-in: the stack holds an observer reference that is
 ``None`` by default, so an un-observed run executes exactly the seed
@@ -28,9 +32,16 @@ fingerprints). Enable with::
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.critpath import (
+    analyze_dag,
+    analyze_run,
+    attribute_windows,
+    attribution_summary_line,
+)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Series
 from repro.obs.perfetto import build_trace, write_trace
 from repro.obs.recorder import FaultEventRecord, MessageEvent, ProcessSpan, RunObserver
+from repro.obs.spans import SpanDAG, build_span_dag, span_breakdown
 
 __all__ = [
     "ObsConfig",
@@ -42,6 +53,13 @@ __all__ = [
     "MessageEvent",
     "ProcessSpan",
     "RunObserver",
+    "SpanDAG",
+    "analyze_dag",
+    "analyze_run",
+    "attribute_windows",
+    "attribution_summary_line",
+    "build_span_dag",
     "build_trace",
+    "span_breakdown",
     "write_trace",
 ]

@@ -34,13 +34,24 @@ class ObsConfig:
         events. Depth changes event-by-event; a stride keeps the
         series (and the exported trace) bounded on multi-million-event
         runs.
+    max_series_points:
+        Upper bound on the number of retained samples per
+        :class:`~repro.obs.metrics.Series`. ``0`` (the default) keeps
+        every sample; a positive bound makes each series halve itself
+        deterministically (keep every 2nd point, double the sampling
+        stride) whenever it fills, so obs-on memory stays flat on
+        arbitrarily long runs while the retained points remain a
+        uniform thinning of the stream.
     """
 
     enabled: bool = False
     metrics: bool = True
     trace_events: bool = True
     queue_sample_every: int = 32
+    max_series_points: int = 0
 
     def __post_init__(self) -> None:
         if self.queue_sample_every <= 0:
             raise ValueError("queue_sample_every must be positive")
+        if self.max_series_points < 0:
+            raise ValueError("max_series_points must be >= 0")

@@ -16,19 +16,34 @@ Track layout (``pid`` = process lane, ``tid`` = thread lane):
   on the sending machine's ``tid``.
 * pid ``M+2`` — metrics: every registry series as a counter track
   (``ph: "C"``), plus engine process lifetimes as ``X`` events.
+* pid ``M+3`` — the critical path (only when a critical-path report is
+  passed): the extracted per-iteration path as ``X`` events named by
+  attribution category (``compute``/``comm``/``wait``).
+
+Every simulated node gets an explicit ``process_name``/``thread_name``
+metadata row up front (machines, workers, PS shards, network lanes),
+so lanes are labelled even in a trace whose events never touch them.
 
 Timestamps are virtual seconds scaled to microseconds (the spec's
-unit), and all events are emitted in non-decreasing ``ts`` order. The
-per-phase sum of span durations in the exported file equals
-``PhaseTracer.breakdown()`` exactly (same spans, same arithmetic) up
-to the microsecond scaling.
+unit). Export is a single merge pass: each event stream (phase spans,
+comm messages, process lifetimes, fault/robust instants, one stream
+per counter series) is individually time-ordered — most are recorded
+that way; spans and messages sort small key tuples — and
+``heapq.merge`` interleaves them lazily in non-decreasing ``ts``
+order. Nothing builds or re-sorts a combined event list, and
+:func:`write_trace` streams events straight to the file, so peak
+memory is one event, not one run. The per-phase sum of span durations
+in the exported file equals ``PhaseTracer.breakdown()`` exactly (same
+spans, same arithmetic) up to the microsecond scaling.
 """
 
 from __future__ import annotations
 
 import json
+from heapq import merge
+from itertools import chain
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.recorder import RunObserver
@@ -49,19 +64,16 @@ def _worker_lane(worker: int, cluster: "ClusterSpec | None", machines: int) -> t
     return 0, worker
 
 
-def build_trace(
-    *,
-    tracer: "PhaseTracer | None" = None,
-    observer: "RunObserver | None" = None,
-    cluster: "ClusterSpec | None" = None,
-    label: str = "repro run",
-) -> dict:
-    """Assemble the trace-event JSON object for one run."""
-    machines = cluster.machines if cluster is not None else 1
+def _metadata_rows(
+    tracer: "PhaseTracer | None",
+    observer: "RunObserver | None",
+    cluster: "ClusterSpec | None",
+    machines: int,
+    critpath: dict | None,
+) -> list[dict[str, Any]]:
+    """Explicit pid/tid naming for every simulated node, up front."""
     ps_pid, net_pid, metrics_pid = machines, machines + 1, machines + 2
-
     meta: list[dict[str, Any]] = []
-    events: list[dict[str, Any]] = []
 
     def process_name(pid: int, name: str) -> None:
         meta.append(
@@ -80,19 +92,62 @@ def build_trace(
     process_name(ps_pid, "parameter servers")
     process_name(net_pid, "network")
     process_name(metrics_pid, "metrics")
+    if critpath is not None:
+        process_name(machines + 3, "critical path")
+        thread_name(machines + 3, 0, "per-iteration path")
 
-    named_threads: set[tuple[int, int]] = set()
-
+    # Worker/PS lanes: the observer's node table names every endpoint;
+    # without one (tracer-only export) fall back to the workers that
+    # actually traced spans.
+    named: set[tuple[int, int]] = set()
+    if observer is not None and observer.node_table:
+        for info in sorted(
+            observer.node_table.values(), key=lambda i: (i["kind"], i["index"])
+        ):
+            if info["kind"] == "worker":
+                pid, tid = _worker_lane(info["index"], cluster, machines)
+                name = f"w{info['index']}"
+            else:
+                pid, tid = ps_pid, info["index"]
+                name = f"ps{info['index']}"
+            if (pid, tid) not in named:
+                named.add((pid, tid))
+                thread_name(pid, tid, name)
     if tracer is not None:
         for span in tracer.spans:
             pid, tid = _worker_lane(span.worker, cluster, machines)
-            if (pid, tid) not in named_threads:
-                named_threads.add((pid, tid))
-                thread_name(
-                    pid, tid, "ps" if span.worker < 0 else f"w{span.worker}"
-                )
-            events.append(
-                {
+            if (pid, tid) not in named:
+                named.add((pid, tid))
+                thread_name(pid, tid, "ps" if span.worker < 0 else f"w{span.worker}")
+    for m in range(machines):
+        thread_name(net_pid, m, f"from m{m}")
+    if observer is not None:
+        if observer.processes:
+            thread_name(metrics_pid, 1, "engine processes")
+        if observer.fault_events or observer.robust_events:
+            thread_name(metrics_pid, 2, "faults")
+    return meta
+
+
+def _event_streams(
+    tracer: "PhaseTracer | None",
+    observer: "RunObserver | None",
+    cluster: "ClusterSpec | None",
+    machines: int,
+    critpath: dict | None,
+) -> list[Iterator[dict[str, Any]]]:
+    """One lazily-evaluated, time-ordered event stream per source."""
+    ps_pid, net_pid, metrics_pid = machines, machines + 1, machines + 2
+    streams: list[Iterator[dict[str, Any]]] = []
+
+    if tracer is not None:
+        # Spans are appended at end() time; order by start for the merge.
+        spans = sorted(tracer.spans, key=lambda s: s.start)
+
+        def phase_events() -> Iterator[dict[str, Any]]:
+            for span in spans:
+                pid, tid = _worker_lane(span.worker, cluster, machines)
+                yield {
                     "ph": "X",
                     "name": span.phase,
                     "cat": "phase",
@@ -101,15 +156,16 @@ def build_trace(
                     "ts": span.start * _US,
                     "dur": span.duration * _US,
                 }
-            )
+
+        streams.append(phase_events())
 
     if observer is not None:
-        for msg in observer.messages:
-            if (net_pid, msg.src_machine) not in named_threads:
-                named_threads.add((net_pid, msg.src_machine))
-                thread_name(net_pid, msg.src_machine, f"from m{msg.src_machine}")
-            events.append(
-                {
+        # Messages are appended at delivery; order by send time.
+        msgs = sorted(observer.messages, key=lambda m: m.t_send)
+
+        def comm_events() -> Iterator[dict[str, Any]]:
+            for msg in msgs:
+                yield {
                     "ph": "X",
                     "name": f"{msg.kind} {msg.nbytes}B",
                     "cat": "comm",
@@ -120,14 +176,19 @@ def build_trace(
                     "args": {
                         "nbytes": msg.nbytes,
                         "dst_machine": msg.dst_machine,
+                        "src_node": msg.src_node,
+                        "dst_node": msg.dst_node,
                     },
                 }
-            )
-        for proc in observer.processes:
-            if proc.end is None:
-                continue
-            events.append(
-                {
+
+        streams.append(comm_events())
+
+        def process_events() -> Iterator[dict[str, Any]]:
+            # Appended at spawn time: already start-ordered.
+            for proc in observer.processes:
+                if proc.end is None:
+                    continue
+                yield {
                     "ph": "X",
                     "name": proc.name,
                     "cat": "process",
@@ -136,75 +197,107 @@ def build_trace(
                     "ts": proc.start * _US,
                     "dur": (proc.end - proc.start) * _US,
                 }
-            )
-        if (metrics_pid, 1) not in named_threads and observer.processes:
-            named_threads.add((metrics_pid, 1))
-            thread_name(metrics_pid, 1, "engine processes")
-        for fault in getattr(observer, "fault_events", []):
-            pid, tid = (
-                _worker_lane(fault.worker, cluster, machines)
-                if fault.worker is not None
-                else (metrics_pid, 2)
-            )
-            if (metrics_pid, 2) not in named_threads and fault.worker is None:
-                named_threads.add((metrics_pid, 2))
-                thread_name(metrics_pid, 2, "faults")
-            events.append(
-                {
+
+        streams.append(process_events())
+
+        def instant_events(records, cat: str) -> Iterator[dict[str, Any]]:
+            # Recorded in virtual-time order by the controllers.
+            for ev in records:
+                pid, tid = (
+                    _worker_lane(ev.worker, cluster, machines)
+                    if ev.worker is not None
+                    else (metrics_pid, 2)
+                )
+                yield {
                     "ph": "i",  # instant event, global scope: draws a
                     "s": "g",  # full-height marker line in Perfetto
-                    "name": f"fault:{fault.kind}",
-                    "cat": "fault",
-                    "pid": pid,
-                    "tid": tid,
-                    "ts": fault.time * _US,
-                    "args": {
-                        "worker": fault.worker,
-                        "machine": fault.machine,
-                        "detail": fault.detail,
-                    },
-                }
-            )
-        for ev in getattr(observer, "robust_events", []):
-            pid, tid = (
-                _worker_lane(ev.worker, cluster, machines)
-                if ev.worker is not None
-                else (metrics_pid, 2)
-            )
-            if (metrics_pid, 2) not in named_threads and ev.worker is None:
-                named_threads.add((metrics_pid, 2))
-                thread_name(metrics_pid, 2, "faults")
-            events.append(
-                {
-                    "ph": "i",
-                    "s": "g",
-                    "name": f"robust:{ev.kind}",
-                    "cat": "robust",
+                    "name": f"{cat}:{ev.kind}",
+                    "cat": cat,
                     "pid": pid,
                     "tid": tid,
                     "ts": ev.time * _US,
-                    "args": {"worker": ev.worker, "detail": ev.detail},
+                    "args": {
+                        "worker": ev.worker,
+                        "machine": getattr(ev, "machine", None),
+                        "detail": ev.detail,
+                    },
                 }
-            )
-        for name, series in sorted(observer.registry.all_series().items()):
-            for t, v in zip(series.times, series.values):
-                events.append(
-                    {
-                        "ph": "C",
-                        "name": name,
-                        "cat": "metric",
-                        "pid": metrics_pid,
-                        "tid": 0,
-                        "ts": t * _US,
-                        "args": {"value": v},
-                    }
-                )
 
-    events.sort(key=lambda e: e["ts"])  # stable: ties keep build order
+        streams.append(instant_events(observer.fault_events, "fault"))
+        streams.append(instant_events(observer.robust_events, "robust"))
+
+        def counter_events(name: str, series) -> Iterator[dict[str, Any]]:
+            for t, v in zip(series.times, series.values):
+                yield {
+                    "ph": "C",
+                    "name": name,
+                    "cat": "metric",
+                    "pid": metrics_pid,
+                    "tid": 0,
+                    "ts": t * _US,
+                    "args": {"value": v},
+                }
+
+        for name, series in sorted(observer.registry.all_series().items()):
+            streams.append(counter_events(name, series))
+
+    if critpath is not None:
+        segments = sorted(critpath.get("segments", ()), key=lambda s: s["start"])
+
+        def critpath_events() -> Iterator[dict[str, Any]]:
+            for seg in segments:
+                yield {
+                    "ph": "X",
+                    "name": seg["category"],
+                    "cat": "critpath",
+                    "pid": machines + 3,
+                    "tid": 0,
+                    "ts": seg["start"] * _US,
+                    "dur": (seg["end"] - seg["start"]) * _US,
+                    "args": {"entity": seg["entity"], "detail": seg["detail"]},
+                }
+
+        streams.append(critpath_events())
+
+    return streams
+
+
+def _trace_parts(
+    tracer: "PhaseTracer | None",
+    observer: "RunObserver | None",
+    cluster: "ClusterSpec | None",
+    label: str,
+    critpath: dict | None,
+) -> tuple[list[dict[str, Any]], Iterator[dict[str, Any]], dict[str, Any]]:
+    machines = cluster.machines if cluster is not None else 1
+    meta = _metadata_rows(tracer, observer, cluster, machines, critpath)
+    streams = _event_streams(tracer, observer, cluster, machines, critpath)
+    # heapq.merge is stable: equal timestamps keep per-stream order and
+    # earlier streams win ties, matching the old stable-sort layout.
+    merged = merge(*streams, key=lambda e: e["ts"])
+    other = {"label": label, "clock": "virtual seconds x 1e6"}
+    return meta, merged, other
+
+
+def build_trace(
+    *,
+    tracer: "PhaseTracer | None" = None,
+    observer: "RunObserver | None" = None,
+    cluster: "ClusterSpec | None" = None,
+    label: str = "repro run",
+    critpath: dict | None = None,
+) -> dict:
+    """Assemble the trace-event JSON object for one run.
+
+    ``critpath`` is an :func:`repro.obs.critpath.analyze_dag` report
+    built with ``keep_segments=True``; its extracted path is rendered
+    as a dedicated highlight lane.
+    """
+    meta, merged, other = _trace_parts(tracer, observer, cluster, label, critpath)
     return {
-        "traceEvents": meta + events,
+        "traceEvents": meta + list(merged),
         "displayTimeUnit": "ms",
-        "otherData": {"label": label, "clock": "virtual seconds x 1e6"},
+        "otherData": other,
     }
 
 
@@ -225,11 +318,23 @@ def write_trace(
     observer: "RunObserver | None" = None,
     cluster: "ClusterSpec | None" = None,
     label: str = "repro run",
+    critpath: dict | None = None,
 ) -> Path:
-    """Build and write the trace; returns the written path."""
-    trace = build_trace(tracer=tracer, observer=observer, cluster=cluster, label=label)
+    """Build and write the trace, streaming events one at a time;
+    returns the written path."""
+    meta, merged, other = _trace_parts(tracer, observer, cluster, label, critpath)
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace) + "\n")
+    with path.open("w") as fh:
+        fh.write('{"traceEvents": [')
+        first = True
+        for event in chain(meta, merged):
+            if not first:
+                fh.write(", ")
+            fh.write(json.dumps(event))
+            first = False
+        fh.write('], "displayTimeUnit": "ms", "otherData": ')
+        fh.write(json.dumps(other))
+        fh.write("}\n")
     return path

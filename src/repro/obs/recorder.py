@@ -36,7 +36,14 @@ __all__ = ["FaultEventRecord", "MessageEvent", "ProcessSpan", "RunObserver"]
 
 @dataclass(frozen=True)
 class MessageEvent:
-    """One delivered message: endpoints, wire size, send/recv times."""
+    """One delivered message: endpoints, wire size, send/recv times.
+
+    ``src_node``/``dst_node`` are the global node ids of the sending
+    and receiving endpoints — the causality keys the critical-path
+    analyzer uses to jump between entity timelines (machines alone are
+    ambiguous: several workers and a PS shard can share one). ``-1``
+    means the sender did not report a node id (legacy events).
+    """
 
     src_machine: int
     dst_machine: int
@@ -44,6 +51,8 @@ class MessageEvent:
     nbytes: int
     t_send: float
     t_recv: float
+    src_node: int = -1
+    dst_node: int = -1
 
 
 @dataclass
@@ -80,11 +89,18 @@ class RunObserver:
 
     def __init__(self, config: ObsConfig | None = None) -> None:
         self.config = config or ObsConfig(enabled=True)
-        self.registry = MetricsRegistry()
+        self.registry = MetricsRegistry(self.config.max_series_points)
         self.messages: list[MessageEvent] = []
         self.processes: list[ProcessSpan] = []
         self.fault_events: list[FaultEventRecord] = []
         self.robust_events: list[FaultEventRecord] = []
+        # One (worker, time, global iteration count) mark per completed
+        # training iteration — the analyzer's round boundaries.
+        self.iteration_marks: list[tuple[int, float, int]] = []
+        # node_id -> {"kind": "worker"|"ps", "index": wid|shard_id,
+        # "machine": int}; filled by finalize(runtime=...).
+        self.node_table: dict[int, dict] = {}
+        self.num_workers: int | None = None
         self._live_processes: dict[int, ProcessSpan] = {}
         self._metrics = self.config.metrics
         self._events = self.config.trace_events
@@ -110,7 +126,9 @@ class RunObserver:
         self.ps_inbox_sample_hook = self.ps_inbox_sample if metrics else None
         self.staleness_sample_hook = self.staleness_sample if metrics else None
         self.grad_bytes_hook = self.grad_bytes if metrics else None
-        self.iteration_sample_hook = self.iteration_sample if metrics else None
+        self.iteration_sample_hook = (
+            self.iteration_sample if (metrics or events) else None
+        )
 
     # -- engine ---------------------------------------------------------
     def process_started(self, process: "Process", now: float) -> None:
@@ -159,6 +177,8 @@ class RunObserver:
         nbytes: int,
         t_send: float,
         t_recv: float,
+        src_node: int = -1,
+        dst_node: int = -1,
     ) -> None:
         if self._metrics:
             self._msg_count_inc()
@@ -166,12 +186,14 @@ class RunObserver:
         if self._events:
             self.messages.append(
                 MessageEvent(
-                    src_machine=src_machine,
-                    dst_machine=dst_machine,
-                    kind=kind,
-                    nbytes=nbytes,
-                    t_send=t_send,
-                    t_recv=t_recv,
+                    src_machine,
+                    dst_machine,
+                    kind,
+                    nbytes,
+                    t_send,
+                    t_recv,
+                    src_node,
+                    dst_node,
                 )
             )
 
@@ -224,6 +246,8 @@ class RunObserver:
                 now, float(total_iterations)
             )
             self.registry.counter(f"w{worker}.iterations").inc()
+        if self._events:
+            self.iteration_marks.append((worker, now, total_iterations))
 
     # -- faults -----------------------------------------------------------
     def fault_event(
@@ -272,10 +296,27 @@ class RunObserver:
         engine: "Engine | None" = None,
         network: "Network | None" = None,
         tracer: "PhaseTracer | None" = None,
+        runtime=None,
     ) -> None:
         """Record the end-of-run aggregates (final port utilisation,
-        engine totals, span counts) as counters/gauges, and close any
-        process spans still alive when the event queue drained."""
+        engine totals, span counts) as counters/gauges, close any
+        process spans still alive when the event queue drained, and —
+        given the runtime — snapshot the node table (node id → worker /
+        PS shard / machine) the span-DAG reconstruction needs."""
+        if runtime is not None:
+            self.num_workers = runtime.config.num_workers
+            for slot in runtime.workers:
+                self.node_table[slot.node.node_id] = {
+                    "kind": "worker",
+                    "index": slot.wid,
+                    "machine": slot.machine,
+                }
+            for shard in runtime.ps_nodes:
+                self.node_table[shard.node_id] = {
+                    "kind": "ps",
+                    "index": shard.shard_id,
+                    "machine": shard.machine,
+                }
         if self._events and engine is not None:
             for span in self._live_processes.values():
                 span.end = engine.now

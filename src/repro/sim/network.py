@@ -41,7 +41,15 @@ class Port:
     event processing guarantees.
     """
 
-    __slots__ = ("name", "rate", "free_at", "busy_time", "bytes_served", "transfers")
+    __slots__ = (
+        "name",
+        "rate",
+        "free_at",
+        "busy_time",
+        "bytes_served",
+        "transfers",
+        "queue_time",
+    )
 
     def __init__(self, name: str, rate: float) -> None:
         if rate <= 0:
@@ -52,6 +60,7 @@ class Port:
         self.busy_time = 0.0
         self.bytes_served = 0
         self.transfers = 0
+        self.queue_time = 0.0  # total seconds transfers waited for the port
 
     def service_time(self, nbytes: int) -> float:
         return nbytes / self.rate
@@ -68,6 +77,7 @@ class Port:
         end = start + duration
         self.free_at = end
         self.busy_time += duration
+        self.queue_time += start - now
         self.bytes_served += nbytes
         self.transfers += 1
         return start, end
@@ -338,5 +348,6 @@ class Network:
                 "utilization": port.utilization(horizon),
                 "bytes": float(port.bytes_served),
                 "transfers": float(port.transfers),
+                "queue_time": port.queue_time,
             }
         return stats

@@ -343,7 +343,13 @@ class TestSweepTelemetry:
         ex.map([tiny_timing()])
         d = json.loads(json.dumps(ex.last_stats.to_dict()))
         assert d["total"] == 1 and d["executed"] == 1
-        assert set(d) == {"total", "unique", "cache_hits", "executed", "jobs", "wall_time"}
+        assert set(d) == {
+            "total", "unique", "cache_hits", "executed", "jobs",
+            "wall_time", "attribution",
+        }
+        # Timing runs carry breakdowns: the sweep attribution rides along.
+        assert "bsp" in d["attribution"]
+        assert d["attribution"]["bsp"]["runs"] == 1
 
     def test_total_stats_accumulate_across_sweeps(self, tmp_path):
         ex = SweepExecutor(jobs=1, cache_dir=tmp_path)

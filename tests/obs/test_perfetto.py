@@ -106,6 +106,79 @@ class TestSpanAccounting:
             assert math.isfinite(event["args"]["value"])
 
 
+class TestNodeMetadata:
+    def test_every_worker_lane_named_up_front(self, observed_run, trace):
+        cfg, _ = observed_run
+        thread_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for w in range(cfg.num_workers):
+            assert f"w{w}" in thread_names
+
+    def test_every_ps_lane_named_up_front(self, observed_run, trace):
+        _, runner = observed_run
+        thread_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for shard in runner.runtime.ps_nodes:
+            assert f"ps{shard.shard_id}" in thread_names
+
+    def test_metadata_precedes_all_events(self, trace):
+        kinds = [e["ph"] == "M" for e in trace["traceEvents"]]
+        first_event = kinds.index(False)
+        assert not any(kinds[first_event:]), "all M rows are up front"
+
+
+class TestCritpathLane:
+    @pytest.fixture(scope="class")
+    def analyzed(self, observed_run):
+        from repro.obs import analyze_run
+
+        _, runner = observed_run
+        return analyze_run(runner, keep_segments=True)
+
+    def test_lane_absent_without_report(self, trace):
+        assert not any(
+            e.get("cat") == "critpath" for e in trace["traceEvents"]
+        )
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "critical path" not in names
+
+    def test_lane_present_with_report(self, observed_run, analyzed):
+        cfg, runner = observed_run
+        highlighted = build_trace(
+            tracer=runner.ctx.tracer,
+            observer=runner.observer,
+            cluster=cfg.cluster,
+            critpath=analyzed,
+        )
+        names = {
+            e["args"]["name"]
+            for e in highlighted["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "critical path" in names
+        segments = [
+            e for e in highlighted["traceEvents"] if e.get("cat") == "critpath"
+        ]
+        assert len(segments) == len(analyzed["segments"])
+        for e in segments:
+            assert e["ph"] == "X"
+            assert e["name"] in ("compute", "comm", "wait")
+            assert e["dur"] >= 0
+        # The merge keeps global ts order even with the extra stream.
+        ts = [e["ts"] for e in highlighted["traceEvents"] if e["ph"] != "M"]
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+
+
 class TestWriteTrace:
     def test_write_and_reload(self, observed_run, tmp_path):
         cfg, runner = observed_run

@@ -112,7 +112,86 @@ class TestTraceExport:
         out = capsys.readouterr().out
         assert "sweep stats:" in out
         data = json.loads(out_file.read_text())
-        assert set(data) == {"result", "sweep_stats"}
+        assert {"result", "sweep_stats"} <= set(data)
         assert data["sweep_stats"]["executed"] > 0
+        # Timing sweeps carry phase breakdowns, so the attribution
+        # summary rides along for free.
+        assert "bsp" in data["attribution_summary"]
+        assert "compute" in data["attribution_summary"]["bsp"]
         trace = json.loads(trace_file.read_text())
         assert trace["traceEvents"]
+
+
+class TestAnalyze:
+    def test_parser_accepts_analyze(self):
+        args = build_parser().parse_args(
+            ["analyze", "bsp", "--workers", "4", "--iters", "3", "--check"]
+        )
+        assert args.command == "analyze"
+        assert args.target == "bsp"
+        assert args.check
+
+    def test_analyze_algorithm_check_passes(self, tmp_path, capsys):
+        report_file = tmp_path / "report.json"
+        code = main(
+            [
+                "analyze", "bsp",
+                "--workers", "4",
+                "--iters", "3",
+                "--check",
+                "--json", str(report_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "Critical-path analysis" in out
+        assert "what-if projections" in out
+        assert "check: OK" in out
+        report = json.loads(report_file.read_text())
+        assert report["algorithm"] == "bsp"
+        attributed = sum(report["totals"][k] for k in ("compute", "comm", "wait"))
+        assert abs(attributed - report["totals"]["total"]) <= 1e-6
+
+    def test_analyze_experiment_target(self, capsys):
+        code = main(["analyze", "fig3", "--workers", "2", "--iters", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Critical-path analysis" in out
+        # fig3's representative run is BSP: the Fig 3 cross-check runs.
+        assert "Fig 3 model cross-check" in out
+
+    def test_analyze_trace_out_gets_critpath_lane(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "analyze", "bsp",
+                "--workers", "2",
+                "--iters", "2",
+                "--trace-out", str(trace_file),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_file.read_text())
+        assert any(e.get("cat") == "critpath" for e in trace["traceEvents"])
+
+    def test_analyze_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonesuch"])
+
+    def test_train_analyze_payload(self, tmp_path, capsys):
+        out_file = tmp_path / "history.json"
+        code = main(
+            [
+                "train", "bsp",
+                "--workers", "2",
+                "--epochs", "1",
+                "--analyze",
+                "--output", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Critical-path analysis" in out
+        data = json.loads(out_file.read_text())
+        assert data["attribution_summary"].startswith("compute ")
+        assert data["analysis"]["windows"] > 0
