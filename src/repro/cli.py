@@ -22,6 +22,10 @@ Usage::
     python -m repro byzantine [--byzantine 1] [--aggregators mean,median,krum]
     python -m repro train bsp --fault-spec faults.json --fault-seed 3
     python -m repro run fig2 --fault-spec faults.json
+    python -m repro run fig2 --session nightly --run-timeout 600 --retries 3
+    python -m repro sweep list
+    python -m repro sweep show <session> [--json out.json] [--trace-out t.json]
+    python -m repro sweep resume <session> [--jobs 8]
 
 Every ``run`` prints the paper-style table and, with ``--output FILE``,
 also writes the structured result as JSON (see :mod:`repro.io`),
@@ -45,6 +49,23 @@ retained vs the attack-free baseline. ``--fault-spec FILE`` on
 JSON-specified fault schedule into those runs instead
 (:meth:`repro.faults.FaultConfig.save` writes the format); the fault
 summary lands in the ``--output`` JSON under ``"faults"``.
+
+``--session [NAME]`` on ``run``/``faults``/``byzantine`` makes the
+sweep *durable*: every run's lifecycle is journaled to an append-only
+session log keyed by the grid fingerprint, so a sweep killed at any
+instant (SIGKILL, OOM, power loss) resumes idempotently — either by
+re-running the same command or via ``repro sweep resume <session>``.
+Completed runs are never re-executed (they are cache hits); output is
+bit-identical to an uninterrupted sweep. ``--resume`` refuses to
+start a *new* session (a typo that changes the grid fails loudly
+instead of silently starting over). ``--run-timeout``/``--retries``
+enable the hardened per-run policy: hung runs are killed at their
+deadline and retried with exponential backoff, and after the attempt
+budget a cell is reported as permanently failed instead of aborting
+the grid. During a durable sweep the first SIGINT/SIGTERM stops
+cleanly (journal flushed, resume command printed, exit 130); a second
+signal hard-exits. ``repro sweep list/show/resume`` manage sessions;
+``sweep show --trace-out`` exports the journal as a Perfetto trace.
 
 ``trace`` (or ``--trace-out`` on ``run``/``train``) exports a
 Chrome/Perfetto trace-event JSON of one instrumented run — load it at
@@ -70,8 +91,9 @@ and ``--output`` JSON carries it under ``"attribution_summary"``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Any
+from typing import Any, Callable
 
 from repro.io import save_json
 
@@ -124,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze_arg(run)
     _add_profile_arg(run)
     _add_fault_spec_args(run)
+    _add_durable_args(run)
 
     train = sub.add_parser("train", help="train one algorithm and print its history")
     train.add_argument("algorithm")
@@ -167,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--jobs", type=int, default=None)
     faults.add_argument("--no-cache", action="store_true")
     faults.add_argument("--cache-dir", type=str, default=None)
+    _add_durable_args(faults)
 
     byz = sub.add_parser(
         "byzantine",
@@ -198,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     byz.add_argument("--jobs", type=int, default=None)
     byz.add_argument("--no-cache", action="store_true")
     byz.add_argument("--cache-dir", type=str, default=None)
+    _add_durable_args(byz)
 
     analyze = sub.add_parser(
         "analyze",
@@ -231,6 +256,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fault_spec_args(analyze)
+
+    sweep = sub.add_parser(
+        "sweep", help="durable sweep sessions: list, inspect, resume"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_list = sweep_sub.add_parser(
+        "list", help="list known sessions, newest first"
+    )
+    sweep_list.add_argument(
+        "--json", action="store_true", help="print machine-readable summaries"
+    )
+    sweep_show = sweep_sub.add_parser(
+        "show", help="per-run states and journal of one session"
+    )
+    sweep_show.add_argument("session", help="session id, unique prefix, or name")
+    sweep_show.add_argument(
+        "--json", type=str, default=None, help="write the session state JSON here"
+    )
+    sweep_show.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="export the journal as a Perfetto trace (lanes per run, "
+        "spans per attempt, instants for retries/kills/signals)",
+    )
+    sweep_resume = sweep_sub.add_parser(
+        "resume", help="re-execute the unfinished runs of a session"
+    )
+    sweep_resume.add_argument("session", help="session id, unique prefix, or name")
+    sweep_resume.add_argument(
+        "--jobs", type=int, default=None, help="pool width (default: all cores)"
+    )
+    sweep_resume.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="override the manifest: ignore the shared run cache",
+    )
+    sweep_resume.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="override the manifest's run-cache directory",
+    )
+    sweep_resume.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per run attempt",
+    )
+    sweep_resume.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per run before permanent failure (default 3)",
+    )
 
     trace = sub.add_parser(
         "trace", help="export a Perfetto trace of one representative run"
@@ -286,6 +362,61 @@ def _add_fault_spec_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         help="override the fault schedule's RNG seed",
     )
+
+
+def _add_durable_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--session",
+        type=str,
+        nargs="?",
+        const="",
+        default=None,
+        metavar="NAME",
+        help=(
+            "journal this sweep as a durable session (optionally named NAME); "
+            "re-running the same grid auto-resumes it, and "
+            "'repro sweep resume' finishes it after a crash"
+        ),
+    )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "durable, but refuse to start a new session: only resume one "
+            "whose journal already exists for this exact grid"
+        ),
+    )
+    sub.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per run attempt; hung runs are killed and retried",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempts per run before it is classified permanently failed "
+            "(default 3; failed cells degrade, they do not abort the sweep)"
+        ),
+    )
+
+
+def _build_policy(args: argparse.Namespace) -> "Any | None":
+    """Build the RunPolicy implied by ``--run-timeout``/``--retries``."""
+    if args.run_timeout is None and args.retries is None:
+        return None
+    from repro.experiments.session import RunPolicy
+
+    kwargs: dict[str, Any] = {}
+    if args.run_timeout is not None:
+        kwargs["timeout_s"] = args.run_timeout
+    if args.retries is not None:
+        kwargs["max_attempts"] = args.retries
+    return RunPolicy(**kwargs)
 
 
 def _install_fault_spec(args: argparse.Namespace) -> "Any | None":
@@ -617,6 +748,132 @@ def _run_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep_cmd(args: argparse.Namespace) -> int:
+    from repro.experiments.session import SweepSession, list_sessions
+
+    if args.sweep_command == "list":
+        sessions = list_sessions()
+        if args.json:
+            print(json.dumps(sessions, indent=2, sort_keys=True))
+            return 0
+        if not sessions:
+            print("no sweep sessions (run a sweep with --session to start one)")
+            return 0
+        for summary in sessions:
+            counts = summary["counts"]
+            bits = [f"{counts['done']}/{summary['runs']} done"]
+            for state in ("running", "pending", "failed", "abandoned"):
+                if counts[state]:
+                    bits.append(f"{counts[state]} {state}")
+            name = f" ({summary['name']})" if summary.get("name") else ""
+            status = "complete" if summary["completed"] else "resumable"
+            print(
+                f"{summary['session']}{name}  {summary.get('created') or '?':19s}  "
+                f"{', '.join(bits)} — {status}"
+            )
+        return 0
+
+    try:
+        session = SweepSession.open(args.session)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.sweep_command == "show":
+        print(session.summary())
+        labels = {
+            entry["fingerprint"]: entry["label"]
+            for entry in session.manifest["runs"]
+        }
+        for fp in session.fingerprints:
+            state = session.states[fp]
+            attempts = session.attempts.get(fp, 0)
+            extra = f" (attempts: {attempts})" if attempts > 1 else ""
+            print(f"  {fp[:12]}  {state:9s}  {labels[fp]}{extra}")
+        recovery = session.recovery
+        if recovery["torn_tail"] or recovery["corrupt"]:
+            print(
+                f"journal recovery: {recovery['torn_tail']} torn tail line(s), "
+                f"{recovery['corrupt']} corrupt line(s) dropped"
+            )
+        if args.json:
+            path = save_json(session.to_dict(), args.json)
+            print(f"[session state written to {path}]")
+        if args.trace_out:
+            from repro.obs import write_session_trace
+
+            path = write_session_trace(
+                args.trace_out,
+                session.records(),
+                label=f"sweep session {session.id}",
+                labels=labels,
+            )
+            print(f"[session trace written to {path}]")
+        return 0
+
+    # resume: re-execute the unfinished cells of the journaled grid.
+    from repro.experiments.executor import SweepExecutor
+    from repro.experiments.session import install_signal_guard
+
+    if session.completed:
+        print(session.summary())
+        print("nothing to resume — re-run the original command to render output")
+        return 0
+    configs = session.load_configs()
+    cache = bool(session.manifest.get("cache", True)) and not args.no_cache
+    cache_dir = args.cache_dir or session.manifest.get("cache_dir")
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+        policy=_build_policy(args),
+    )
+    guard = install_signal_guard(executor)
+    try:
+        rc = _interruptible_sweep(lambda: executor.map(configs, session=session))
+    finally:
+        guard.uninstall()
+    if rc is not None:
+        return rc
+    print(session.summary())
+    print(f"sweep stats: {executor.total_stats.summary()}")
+    stats = executor.total_stats
+    if stats.failed:
+        failed = [
+            f"  {fp[:12]}  {entry['label']}"
+            for entry, fp in (
+                (e, e["fingerprint"]) for e in session.manifest["runs"]
+            )
+            if session.states.get(fp) == "failed"
+        ]
+        print("permanently failed cells:")
+        print("\n".join(failed))
+    else:
+        print(
+            "session complete — re-run the original command to render its "
+            "tables (all runs are now cache hits)"
+        )
+    return 0
+
+
+def _interruptible_sweep(run: "Callable[[], Any]") -> int | None:
+    """Run a durable sweep body; on a clean interruption or preemption
+    print the resume command and return the exit code (None = ran to
+    completion — the caller renders its output)."""
+    from repro.experiments.session import SweepInterrupted, SweepPreempted
+
+    try:
+        run()
+    except SweepPreempted as exc:
+        print(f"\n[sweep preempted: {exc}]", file=sys.stderr)
+        print(f"[resume with: {exc.resume_command}]", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: yielded, try again later
+    except SweepInterrupted as exc:
+        print(f"\n[sweep interrupted: {exc}]", file=sys.stderr)
+        print(f"[resume with: {exc.resume_command}]", file=sys.stderr)
+        return 130  # conventional SIGINT exit
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     profile_out = getattr(args, "profile", None)
@@ -648,6 +905,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "sweep":
+        return _run_sweep_cmd(args)
     sweep_stats = None
     _install_fault_spec(args)
     if args.command == "analyze":
@@ -655,21 +914,54 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("run", "faults", "byzantine"):
         from repro.experiments.executor import SweepExecutor, set_default_executor
 
+        durable = args.session is not None or args.resume
         executor = SweepExecutor(
             jobs=args.jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
             progress=lambda line: print(line, file=sys.stderr),
+            policy=_build_policy(args),
+            durable=durable,
+            session_name=args.session or None,
+            require_existing_session=args.resume,
         )
         set_default_executor(executor)
-        if args.command == "faults":
-            text, result = _run_faults_cmd(args)
-        elif args.command == "byzantine":
-            text, result = _run_byzantine_cmd(args)
-        else:
-            text, result = _run_experiment(args)
+        guard = None
+        if durable:
+            from repro.experiments.session import install_signal_guard
+
+            guard = install_signal_guard(executor)
+        outcome: dict[str, Any] = {}
+
+        def _body() -> None:
+            if args.command == "faults":
+                outcome["rendered"] = _run_faults_cmd(args)
+            elif args.command == "byzantine":
+                outcome["rendered"] = _run_byzantine_cmd(args)
+            else:
+                outcome["rendered"] = _run_experiment(args)
+
+        try:
+            rc = _interruptible_sweep(_body)
+        except FileNotFoundError as exc:
+            if not args.resume:
+                raise
+            # --resume refused to start a fresh session for this grid.
+            raise SystemExit(str(exc))
+        finally:
+            if guard is not None:
+                guard.uninstall()
+        if rc is not None:
+            return rc
+        text, result = outcome["rendered"]
         if executor.total_stats.total:
             sweep_stats = executor.total_stats
+        if executor.last_session is not None:
+            print(
+                f"[durable session {executor.last_session.id}: "
+                f"{executor.last_session.summary()}]",
+                file=sys.stderr,
+            )
     else:
         text, result = _run_train(args)
     print(text)

@@ -23,6 +23,21 @@ turns those sweeps from serial for-loops into:
 
 Identical configs submitted twice in one sweep are executed once and
 materialised per occurrence.
+
+Two orthogonal hardening layers (see :mod:`repro.experiments.session`)
+plug in here:
+
+* **Durable sessions** (``durable=True`` or an explicit ``session=``) —
+  every ``map()`` call journals run lifecycles to an append-only JSONL
+  file keyed by the grid fingerprint, so a sweep killed at any instant
+  resumes idempotently (``repro sweep resume``): ``done`` cells are
+  served from the cache, in-flight/failed cells re-execute, output is
+  bit-identical to an uninterrupted sweep.
+* **Run policy** (``policy=RunPolicy(...)``) — per-run wall-clock
+  deadlines (hung runs killed, pool recycled), bounded retries with
+  exponential backoff + jitter, and permanent-failure classification:
+  an exhausted cell degrades to a ``FailedRun`` placeholder instead of
+  aborting the grid.
 """
 
 from __future__ import annotations
@@ -30,11 +45,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -42,6 +58,9 @@ from repro import __version__
 from repro.core.history import ThroughputResult, TrainingHistory
 from repro.core.runner import RunConfig, execute_run
 from repro.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.session import RunPolicy, SweepSession
 
 __all__ = [
     "config_fingerprint",
@@ -157,6 +176,31 @@ def _execute_payload(config: RunConfig) -> dict:
     return _result_to_payload(execute_run(config))
 
 
+def _validate_payload(payload) -> None:
+    """Reject a malformed worker result (counts as a retryable failure
+    under a run policy, exactly like a crash)."""
+    if (
+        not isinstance(payload, dict)
+        or payload.get("kind") not in _KINDS
+        or not isinstance(payload.get("data"), dict)
+    ):
+        raise ValueError(f"corrupt run result ({type(payload).__name__})")
+
+
+class _Attempt:
+    """One schedulable execution attempt of a sweep cell."""
+
+    __slots__ = ("index", "fp", "cfg", "attempt", "not_before", "started")
+
+    def __init__(self, index: int, fp: str, cfg: RunConfig) -> None:
+        self.index = index
+        self.fp = fp
+        self.cfg = cfg
+        self.attempt = 1
+        self.not_before = 0.0
+        self.started = 0.0
+
+
 def _describe(config: RunConfig) -> str:
     """Short human-readable run label for progress lines."""
     return f"{config.algorithm}/{config.mode} w={config.num_workers}"
@@ -170,13 +214,18 @@ class RunCache:
 
     Entries self-describe (fingerprint, repro version, payload kind);
     anything unreadable or inconsistent is treated as a miss and the
-    offending file is removed best-effort.
+    offending file is *quarantined* to a ``.corrupt/`` sidecar
+    directory (counted in :attr:`quarantined` and surfaced through
+    ``SweepStats``) rather than deleted — recurring corruption should
+    leave diagnosable evidence, not vanish.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.root = Path(root).expanduser()
+        #: Bad entries moved aside by this cache instance.
+        self.quarantined = 0
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
@@ -189,7 +238,7 @@ class RunCache:
         except FileNotFoundError:
             return None
         except (OSError, ValueError):
-            self._discard(path)
+            self._quarantine(path)
             return None
         if (
             not isinstance(entry, dict)
@@ -197,7 +246,7 @@ class RunCache:
             or entry.get("kind") not in _KINDS
             or not isinstance(entry.get("data"), dict)
         ):
-            self._discard(path)
+            self._quarantine(path)
             return None
         return {"kind": entry["kind"], "data": entry["data"]}
 
@@ -213,12 +262,26 @@ class RunCache:
         # crash mid-write cannot corrupt an existing entry.
         atomic_write_text(self._path(fingerprint), json.dumps(entry, sort_keys=True) + "\n")
 
-    @staticmethod
-    def _discard(path: Path) -> None:
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry into ``.corrupt/`` (never back into the
+        lookup path — the sidecar is evidence, not cache)."""
+        quarantine_dir = self.root / ".corrupt"
+        target = quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine_dir / f"{path.name}.{suffix}"
         try:
-            path.unlink()
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
         except OSError:
-            pass
+            # Fall back to plain removal so a broken sidecar directory
+            # cannot wedge the cache into serving corruption forever.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
 
 
 # -- the executor -------------------------------------------------------
@@ -234,6 +297,10 @@ class SweepStats:
     executed: int = 0  # simulator runs performed
     jobs: int = 1  # pool width used for the misses
     wall_time: float = 0.0  # wall-clock seconds the map() call took
+    failed: int = 0  # cells permanently failed (policy max_attempts)
+    retried: int = 0  # attempt retries (timeout / error / corrupt result)
+    deadline_kills: int = 0  # hung runs killed at their wall-clock deadline
+    quarantined: int = 0  # corrupt cache entries moved to .corrupt/
     #: mean compute/comm/wait fractions per algorithm over the sweep's
     #: traced results (each entry carries its contributing ``runs``
     #: count); empty when no result had a phase breakdown.
@@ -247,6 +314,10 @@ class SweepStats:
         self.cache_hits += other.cache_hits
         self.executed += other.executed
         self.wall_time += other.wall_time
+        self.failed += other.failed
+        self.retried += other.retried
+        self.deadline_kills += other.deadline_kills
+        self.quarantined += other.quarantined
         self.jobs = max(self.jobs, other.jobs)
         for algo, attr in other.attribution.items():
             mine = self.attribution.get(algo)
@@ -266,16 +337,33 @@ class SweepStats:
             "executed": self.executed,
             "jobs": self.jobs,
             "wall_time": self.wall_time,
+            "failed": self.failed,
+            "retried": self.retried,
+            "deadline_kills": self.deadline_kills,
+            "quarantined": self.quarantined,
             "attribution": self.attribution,
         }
 
     def summary(self) -> str:
         """One-line human-readable form for CLI output."""
-        return (
+        line = (
             f"{self.total} run(s): {self.cache_hits} cached, "
             f"{self.executed} executed (jobs={self.jobs}, "
             f"{self.wall_time:.1f}s)"
         )
+        extras = [
+            f"{value} {label}"
+            for label, value in (
+                ("failed", self.failed),
+                ("retried", self.retried),
+                ("deadline-killed", self.deadline_kills),
+                ("cache entries quarantined", self.quarantined),
+            )
+            if value
+        ]
+        if extras:
+            line += f" [{', '.join(extras)}]"
+        return line
 
 
 class SweepExecutor:
@@ -295,6 +383,23 @@ class SweepExecutor:
         Optional ``callable(str)`` invoked with one telemetry line at
         sweep start and after each executed run (the CLI points this
         at stderr). Purely informational — never affects results.
+    policy:
+        Optional :class:`~repro.experiments.session.RunPolicy`
+        enabling the hardened execution path (deadlines, bounded
+        retries with backoff, failed-cell degradation). ``None`` with
+        no session keeps the exact legacy path.
+    durable:
+        Journal every ``map()`` call as a durable sweep session keyed
+        by the grid fingerprint (created or resumed automatically).
+    session_root:
+        Session directory root (default ``$REPRO_SESSION_DIR`` or
+        ``~/.cache/repro/sessions``).
+    session_name:
+        Optional human alias recorded in new sessions' manifests.
+    require_existing_session:
+        With ``durable``, refuse to *start* sessions — only resume
+        ones whose journal already exists (the ``--resume`` guard
+        against a typo silently changing the grid).
     """
 
     def __init__(
@@ -304,34 +409,88 @@ class SweepExecutor:
         cache: bool = True,
         cache_dir: str | Path | None = None,
         progress: Callable[[str], None] | None = None,
+        policy: "RunPolicy | None" = None,
+        durable: bool = False,
+        session_root: str | Path | None = None,
+        session_name: str | None = None,
+        require_existing_session: bool = False,
     ) -> None:
         if jobs is not None and jobs <= 0:
             raise ValueError("jobs must be positive")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = RunCache(cache_dir) if cache else None
+        self._cache_enabled = cache
+        self._cache_dir = str(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.policy = policy
+        self.durable = durable
+        self.session_root = session_root
+        self.session_name = session_name
+        self.require_existing_session = require_existing_session
+        self.last_session: "SweepSession | None" = None
+        self._stop_reason: str | None = None
+        self._session_seq = 0
         self.last_stats = SweepStats()
         # Accumulated over every map() call on this executor — what one
         # CLI invocation's sweeps did in total.
         self.total_stats = SweepStats(jobs=self.jobs)
+
+    def request_stop(self, reason: str) -> None:
+        """Ask the hardened path to stop at the next safe point (the
+        first stage of the SIGINT/SIGTERM guard). Sticky: later
+        ``map()`` calls on this executor stop immediately too."""
+        self._stop_reason = reason
 
     def _emit(self, line: str) -> None:
         if self.progress is not None:
             self.progress(line)
 
     def map(
-        self, configs: Sequence[RunConfig]
-    ) -> list[TrainingHistory | ThroughputResult]:
+        self,
+        configs: Sequence[RunConfig],
+        *,
+        session: "SweepSession | None" = None,
+    ) -> list:
         """Execute ``configs``; results align index-for-index.
 
         Ordering is FIFO-stable: result ``i`` always corresponds to
         ``configs[i]`` no matter which worker finished first, so sweep
-        outputs are bit-identical to serial execution.
+        outputs are bit-identical to serial execution — including
+        across a crash/resume boundary when a session is attached.
+        Under a :class:`RunPolicy`, permanently failed cells come back
+        as :class:`~repro.experiments.session.FailedRun` placeholders.
         """
         t0 = time.perf_counter()
         configs = list(configs)
         prints = [config_fingerprint(cfg) for cfg in configs]
         stats = SweepStats(total=len(configs), jobs=self.jobs)
+
+        if session is None and self.durable and configs:
+            from repro.experiments.session import SweepSession
+
+            # One map() call = one grid = one session. Commands that
+            # sweep several grids (e.g. faults: baseline + fault grid)
+            # get numbered names so name-resolution stays unambiguous.
+            self._session_seq += 1
+            name = self.session_name
+            if name and self._session_seq > 1:
+                name = f"{name}.{self._session_seq}"
+            session = SweepSession.for_configs(
+                configs,
+                prints,
+                root=self.session_root,
+                name=name,
+                require_existing=self.require_existing_session,
+                cache_dir=self._cache_dir,
+                cache=self._cache_enabled,
+            )
+        self.last_session = session
+        cache = self.cache
+        if cache is None and session is not None:
+            # Durable resume needs a content-addressed home for
+            # finished payloads even when the shared cache is off.
+            cache = session.local_cache()
+        quarantined_before = cache.quarantined if cache is not None else 0
 
         # Deduplicate: first occurrence of each fingerprint wins.
         representative: dict[str, RunConfig] = {}
@@ -340,15 +499,26 @@ class SweepExecutor:
         stats.unique = len(representative)
 
         payloads: dict[str, dict] = {}
-        if self.cache is not None:
+        if cache is not None:
             for fp in representative:
-                payload = self.cache.get(fp)
+                payload = cache.get(fp)
                 if payload is not None:
                     payloads[fp] = payload
             stats.cache_hits = len(payloads)
 
         todo = [(fp, cfg) for fp, cfg in representative.items() if fp not in payloads]
         stats.executed = len(todo)
+        failures: dict[str, tuple[str, int]] = {}
+        if session is not None:
+            self._emit(f"session {session.id}: journal at {session.journal_path}")
+            for fp in payloads:
+                if session.states.get(fp) != "done":
+                    session.event("run_done", fp=fp, attempt=0, s=0.0, cached=True)
+            for fp, _cfg in todo:
+                if session.states.get(fp) == "done":
+                    # The journal says done but the result store lost
+                    # the payload — demote and re-execute.
+                    session.event("run_requeued", fp=fp, reason="cache miss")
         if configs:
             self._emit(
                 f"sweep: {stats.total} run(s), {stats.unique} unique, "
@@ -356,7 +526,14 @@ class SweepExecutor:
                 f"(jobs={self.jobs})"
             )
         if todo:
-            if self.jobs == 1 or len(todo) == 1:
+            if session is not None or self.policy is not None:
+                self._map_hardened(
+                    todo, session, stats, payloads, failures, cache, t0
+                )
+                stats.executed = len(todo) - sum(
+                    1 for fp, _ in todo if fp in failures
+                )
+            elif self.jobs == 1 or len(todo) == 1:
                 fresh = []
                 for i, (fp, cfg) in enumerate(todo):
                     t_run = time.perf_counter()
@@ -365,18 +542,41 @@ class SweepExecutor:
                         f"  [{i + 1}/{len(todo)}] {_describe(cfg)} "
                         f"done in {time.perf_counter() - t_run:.1f}s"
                     )
+                for (fp, _), payload in zip(todo, fresh):
+                    payloads[fp] = payload
+                    if cache is not None:
+                        cache.put(fp, payload)
             else:
                 fresh = self._map_pool(todo, t0)
-            for (fp, _), payload in zip(todo, fresh):
-                payloads[fp] = payload
-                if self.cache is not None:
-                    self.cache.put(fp, payload)
+                for (fp, _), payload in zip(todo, fresh):
+                    payloads[fp] = payload
+                    if cache is not None:
+                        cache.put(fp, payload)
 
+        stats.failed = len(failures)
+        stats.quarantined = (
+            cache.quarantined - quarantined_before if cache is not None else 0
+        )
         # Materialise one result object per submitted config (identical
-        # configs share a payload but never an object).
-        results = [
-            _payload_to_result(payloads[fp], cfg) for cfg, fp in zip(configs, prints)
-        ]
+        # configs share a payload but never an object). Permanently
+        # failed cells degrade to FailedRun placeholders.
+        results: list = []
+        for cfg, fp in zip(configs, prints):
+            payload = payloads.get(fp)
+            if payload is None:
+                from repro.experiments.session import FailedRun
+
+                error, attempts = failures.get(fp, ("not executed", 0))
+                results.append(
+                    FailedRun(
+                        algorithm=cfg.algorithm,
+                        fingerprint=fp,
+                        error=error,
+                        attempts=attempts,
+                    )
+                )
+            else:
+                results.append(_payload_to_result(payload, cfg))
         # Attribution rides along for free: traced timing results carry
         # their phase breakdown, so sweeps can report where the time
         # went without any extra simulator work.
@@ -386,6 +586,22 @@ class SweepExecutor:
         stats.wall_time = time.perf_counter() - t0
         self.last_stats = stats
         self.total_stats.merge(stats)
+        if session is not None and configs:
+            session.event(
+                "session_complete",
+                fsync=True,
+                counts=session.counts(),
+                stats={
+                    k: v
+                    for k, v in stats.to_dict().items()
+                    if k != "attribution"
+                },
+            )
+            if stats.failed:
+                self._emit(
+                    f"session {session.id}: completed degraded — "
+                    f"{stats.failed} cell(s) permanently failed"
+                )
         return results
 
     #: Pool rebuilds attempted after a BrokenProcessPool before falling
@@ -446,6 +662,286 @@ class SweepExecutor:
                 f"done in {time.perf_counter() - t_run:.1f}s (serial fallback)"
             )
         return fresh
+
+    # -- hardened path (sessions and/or run policy) ---------------------
+
+    def _map_hardened(
+        self,
+        todo: list[tuple[str, RunConfig]],
+        session: "SweepSession | None",
+        stats: SweepStats,
+        payloads: dict[str, dict],
+        failures: dict[str, tuple[str, int]],
+        cache: RunCache | None,
+        t0: float,
+    ) -> None:
+        """Execute ``todo`` under the per-run policy, journaling every
+        lifecycle transition into ``session`` (when attached).
+
+        Fills ``payloads`` (completed cells, also persisted to
+        ``cache``) and ``failures`` (permanently failed cells) in
+        place. Raises :class:`SweepInterrupted`/:class:`SweepPreempted`
+        after checkpointing the journal when a stop or preemption is
+        requested; crash-killed invocations leave ``running`` records
+        that resume abandons and re-queues.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.experiments.session import (
+            RunPolicy,
+            SweepInterrupted,
+            SweepPreempted,
+        )
+
+        policy = self.policy or RunPolicy()
+        rng = random.Random(session.id if session is not None else "repro-policy")
+        total = len(todo)
+        queue = [_Attempt(i, fp, cfg) for i, (fp, cfg) in enumerate(todo)]
+        in_flight: dict = {}
+        pool: ProcessPoolExecutor | None = None
+        finished = 0
+
+        def journal(kind: str, **data) -> None:
+            if session is not None:
+                session.event(kind, **data)
+
+        def kill_pool() -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            # A hung child never returns from its run, so terminate
+            # the workers outright before shutting the pool down.
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def record_done(item: "_Attempt", payload: dict, duration: float) -> None:
+            nonlocal finished
+            finished += 1
+            payloads[item.fp] = payload
+            if cache is not None:
+                cache.put(item.fp, payload)
+            journal("run_done", fp=item.fp, attempt=item.attempt, s=round(duration, 3))
+            self._emit(
+                f"  [{finished}/{total}] {_describe(item.cfg)} "
+                f"done in {duration:.1f}s"
+                + (f" (attempt {item.attempt})" if item.attempt > 1 else "")
+            )
+
+        def charge_failure(item: "_Attempt", error: str, now: float) -> "_Attempt | None":
+            """Count one failed attempt; requeue with backoff or
+            classify as permanently failed. Returns the requeued
+            attempt, or None when the cell is exhausted."""
+            nonlocal finished
+            if item.attempt >= policy.max_attempts:
+                finished += 1
+                failures[item.fp] = (error, item.attempt)
+                journal(
+                    "run_failed", fp=item.fp, attempt=item.attempt, error=error
+                )
+                self._emit(
+                    f"  [{finished}/{total}] {_describe(item.cfg)} FAILED "
+                    f"permanently after {item.attempt} attempt(s): {error}"
+                )
+                return None
+            delay = policy.backoff(item.attempt, rng)
+            stats.retried += 1
+            journal(
+                "run_retry",
+                fp=item.fp,
+                attempt=item.attempt,
+                error=error,
+                backoff_s=round(delay, 3),
+            )
+            self._emit(
+                f"  {_describe(item.cfg)} attempt {item.attempt} failed "
+                f"({error}); retrying in {delay:.2f}s"
+            )
+            item.attempt += 1
+            item.not_before = now + delay
+            return item
+
+        def stop_reason() -> str | None:
+            if self._stop_reason is not None:
+                return self._stop_reason
+            if session is not None and session.stop_reason is not None:
+                return session.stop_reason
+            return None
+
+        def abort(reason: str, exc_cls: type) -> None:
+            for item in sorted(in_flight.values(), key=lambda i: i.index):
+                journal("run_abandoned", fp=item.fp, attempt=item.attempt)
+            kill_pool()
+            remaining = total - finished
+            if session is not None:
+                session.event("stopped", reason=reason, fsync=True)
+                done = session.counts()["done"]
+                sid = session.id
+            else:
+                done = len(payloads)
+                sid = None
+            raise exc_cls(sid, reason, done, remaining)
+
+        def check_interrupts() -> None:
+            reason = stop_reason()
+            if reason is not None:
+                abort(reason, SweepInterrupted)
+            if session is not None and session.preempt_requested():
+                journal("preempt")
+                abort("preempted by a higher-priority session", SweepPreempted)
+
+        def run_serially(items: list["_Attempt"]) -> None:
+            """In-process execution with retries (no deadline — a hung
+            run in our own process cannot be killed)."""
+            for item in sorted(items, key=lambda i: i.index):
+                while True:
+                    check_interrupts()
+                    now = time.monotonic()
+                    if item.not_before > now:
+                        time.sleep(item.not_before - now)
+                    journal(
+                        "run_start",
+                        fp=item.fp,
+                        attempt=item.attempt,
+                        label=_describe(item.cfg),
+                    )
+                    t_run = time.monotonic()
+                    try:
+                        payload = _execute_payload(item.cfg)
+                        _validate_payload(payload)
+                    except Exception as exc:  # noqa: BLE001 — classified below
+                        item = charge_failure(item, repr(exc), time.monotonic())
+                        if item is None:
+                            break
+                        continue
+                    record_done(item, payload, time.monotonic() - t_run)
+                    break
+
+        if (self.jobs == 1 or total == 1) and policy.timeout_s is None:
+            run_serially(queue)
+            return
+
+        broken_streak = 0
+        try:
+            while queue or in_flight:
+                check_interrupts()
+                now = time.monotonic()
+                # Submit every ready attempt, FIFO by grid index.
+                for item in sorted(queue, key=lambda i: i.index):
+                    if len(in_flight) >= self.jobs:
+                        break
+                    if item.not_before > now:
+                        continue
+                    if pool is None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=max(1, min(self.jobs, total))
+                        )
+                    queue.remove(item)
+                    item.started = now
+                    journal(
+                        "run_start",
+                        fp=item.fp,
+                        attempt=item.attempt,
+                        label=_describe(item.cfg),
+                    )
+                    in_flight[pool.submit(_execute_payload, item.cfg)] = item
+                if not in_flight:
+                    # Everything is backoff-deferred; idle one tick.
+                    time.sleep(policy.poll_interval_s)
+                    continue
+                done_set, _ = wait(
+                    list(in_flight),
+                    timeout=policy.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broke = False
+                for future in sorted(done_set, key=lambda f: in_flight[f].index):
+                    item = in_flight.pop(future)
+                    try:
+                        payload = future.result()
+                        _validate_payload(payload)
+                    except BrokenProcessPool:
+                        # Pool-level mortality: no attempt charged —
+                        # the victims simply re-run on a fresh pool.
+                        pool_broke = True
+                        item.not_before = 0.0
+                        queue.append(item)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 — classified below
+                        requeued = charge_failure(item, repr(exc), time.monotonic())
+                        if requeued is not None:
+                            queue.append(requeued)
+                        continue
+                    broken_streak = 0
+                    record_done(item, payload, time.monotonic() - item.started)
+                if pool_broke:
+                    broken_streak += 1
+                    for item in list(in_flight.values()):
+                        item.not_before = 0.0
+                        queue.append(item)
+                    in_flight.clear()
+                    kill_pool()
+                    journal("pool_recycled", reason="broken pool", streak=broken_streak)
+                    if broken_streak > policy.pool_rebuilds:
+                        self._emit(
+                            f"  worker pool died {broken_streak} time(s); "
+                            f"running {len(queue)} remaining run(s) serially"
+                        )
+                        remaining, queue = queue, []
+                        run_serially(remaining)
+                    else:
+                        self._emit(
+                            f"  worker pool died; retrying {len(queue)} "
+                            f"run(s) on a fresh pool "
+                            f"({broken_streak}/{policy.pool_rebuilds})"
+                        )
+                    continue
+                if policy.timeout_s is not None and in_flight:
+                    now = time.monotonic()
+                    expired = sorted(
+                        (
+                            (future, item)
+                            for future, item in in_flight.items()
+                            if now - item.started > policy.timeout_s
+                        ),
+                        key=lambda pair: pair[1].index,
+                    )
+                    if expired:
+                        for future, item in expired:
+                            del in_flight[future]
+                            stats.deadline_kills += 1
+                            journal(
+                                "deadline_kill",
+                                fp=item.fp,
+                                attempt=item.attempt,
+                                timeout_s=policy.timeout_s,
+                            )
+                            self._emit(
+                                f"  {_describe(item.cfg)} exceeded its "
+                                f"{policy.timeout_s:.1f}s deadline; killing worker"
+                            )
+                            requeued = charge_failure(
+                                item, f"deadline ({policy.timeout_s:.1f}s) exceeded", now
+                            )
+                            if requeued is not None:
+                                queue.append(requeued)
+                        # Killing the pool takes innocent in-flight
+                        # runs with it; they re-run without charge.
+                        for item in list(in_flight.values()):
+                            journal(
+                                "run_requeued", fp=item.fp, reason="pool recycled"
+                            )
+                            item.not_before = 0.0
+                            queue.append(item)
+                        in_flight.clear()
+                        kill_pool()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
 
 # -- process-wide default ----------------------------------------------

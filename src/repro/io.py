@@ -23,6 +23,7 @@ from repro.core.history import ThroughputResult, TrainingHistory
 __all__ = [
     "to_jsonable",
     "atomic_write_text",
+    "append_text",
     "save_json",
     "load_json",
     "history_to_dict",
@@ -91,6 +92,26 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
         except OSError:
             pass
         raise
+    return path
+
+
+def append_text(path: str | Path, text: str, *, fsync: bool = False) -> Path:
+    """Append ``text`` to ``path`` (creating parents) in one write.
+
+    The contract the sweep journal relies on: each call is a single
+    ``write()`` on an ``O_APPEND`` descriptor, so concurrent appends
+    interleave at line granularity and a crash can tear at most the
+    final line — which journal replay detects and drops. ``fsync``
+    additionally forces the append to stable storage (used for the
+    records that must survive power loss, e.g. a signal-driven stop).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
     return path
 
 

@@ -39,7 +39,12 @@ from repro.obs.critpath import (
     attribution_summary_line,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Series
-from repro.obs.perfetto import build_trace, write_trace
+from repro.obs.perfetto import (
+    build_session_trace,
+    build_trace,
+    write_session_trace,
+    write_trace,
+)
 from repro.obs.recorder import FaultEventRecord, MessageEvent, ProcessSpan, RunObserver
 from repro.obs.spans import SpanDAG, build_span_dag, span_breakdown
 
@@ -59,7 +64,9 @@ __all__ = [
     "attribute_windows",
     "attribution_summary_line",
     "build_span_dag",
+    "build_session_trace",
     "build_trace",
     "span_breakdown",
+    "write_session_trace",
     "write_trace",
 ]

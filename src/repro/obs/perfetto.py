@@ -50,7 +50,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import ClusterSpec
     from repro.sim.trace import PhaseTracer
 
-__all__ = ["build_trace", "write_trace", "phase_totals"]
+__all__ = [
+    "build_trace",
+    "write_trace",
+    "phase_totals",
+    "build_session_trace",
+    "write_session_trace",
+]
 
 _US = 1e6  # seconds -> trace-event microseconds
 
@@ -337,4 +343,130 @@ def write_trace(
         fh.write('], "displayTimeUnit": "ms", "otherData": ')
         fh.write(json.dumps(other))
         fh.write("}\n")
+    return path
+
+
+# -- sweep-session traces ------------------------------------------------
+#
+# A durable sweep's journal (repro.experiments.session) is itself a
+# timeline — host wall-clock, not virtual time — and converts to the
+# same trace-event JSON: one thread lane per sweep cell, an ``X`` span
+# per execution attempt, instants for retries / deadline kills /
+# signals / preemption. ``repro sweep show --trace-out`` exports it.
+
+#: journal events that open an attempt span / close one.
+_SESSION_SPAN_END = {
+    "run_done": "done",
+    "run_failed": "failed",
+    "run_retry": "retry",
+    "deadline_kill": "deadline-kill",
+    "run_abandoned": "abandoned",
+}
+#: journal events rendered as instants on the session control lane.
+_SESSION_INSTANTS = (
+    "session_start",
+    "session_resume",
+    "session_complete",
+    "pool_recycled",
+    "run_requeued",
+    "stopped",
+    "preempt",
+)
+
+
+def build_session_trace(
+    records: list[dict],
+    *,
+    label: str = "sweep session",
+    labels: dict[str, str] | None = None,
+) -> dict:
+    """Trace-event JSON of a sweep session's journal records.
+
+    ``records`` is the (already replay-recovered) journal; timestamps
+    are the journal's wall-clock seconds, normalised so the first
+    record sits at t=0. ``labels`` optionally maps run fingerprints to
+    human names (the grid manifest's per-run labels).
+    """
+    labels = labels or {}
+    times = [r["t"] for r in records if isinstance(r.get("t"), (int, float))]
+    t0 = min(times) if times else 0.0
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": label}},
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+         "args": {"name": "session"}},
+    ]
+    lanes: dict[str, int] = {}
+    open_spans: dict[str, tuple[float, int]] = {}  # fp -> (start ts, attempt)
+
+    def lane(fp: str) -> int:
+        tid = lanes.get(fp)
+        if tid is None:
+            tid = len(lanes) + 1
+            lanes[fp] = tid
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+                 "args": {"name": labels.get(fp, fp[:12])}}
+            )
+        return tid
+
+    spans: list[dict[str, Any]] = []
+    instants: list[dict[str, Any]] = []
+    for record in records:
+        kind = record.get("ev")
+        ts = (record.get("t", t0) - t0) * _US
+        fp = record.get("fp")
+        if kind == "run_start" and isinstance(fp, str):
+            open_spans[fp] = (ts, record.get("attempt", 1))
+            lane(fp)
+            continue
+        outcome = _SESSION_SPAN_END.get(kind)
+        if outcome is not None and isinstance(fp, str):
+            start, attempt = open_spans.pop(fp, (ts, record.get("attempt", 1)))
+            spans.append(
+                {"ph": "X", "cat": "attempt", "name": f"attempt {attempt}: {outcome}",
+                 "pid": 0, "tid": lane(fp), "ts": start, "dur": max(ts - start, 1.0),
+                 "args": {k: v for k, v in record.items() if k not in ("ev", "t")}}
+            )
+            if kind in ("run_retry", "deadline_kill"):
+                instants.append(
+                    {"ph": "i", "s": "t", "cat": "session", "name": kind,
+                     "pid": 0, "tid": lane(fp), "ts": ts}
+                )
+            continue
+        if kind in _SESSION_INSTANTS:
+            instants.append(
+                {"ph": "i", "s": "p", "cat": "session", "name": kind,
+                 "pid": 0, "tid": 0, "ts": ts,
+                 "args": {k: v for k, v in record.items() if k not in ("ev", "t")}}
+            )
+    # Attempts still open at the end of the journal (the driver died
+    # mid-run): render them as zero-length "in flight" markers.
+    for fp, (start, attempt) in open_spans.items():
+        instants.append(
+            {"ph": "i", "s": "t", "cat": "session", "name": f"attempt {attempt} in flight",
+             "pid": 0, "tid": lane(fp), "ts": start}
+        )
+    body = sorted(spans + instants, key=lambda e: e["ts"])
+    return {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "clock": "host wall-clock seconds x 1e6"},
+    }
+
+
+def write_session_trace(
+    path: str | Path,
+    records: list[dict],
+    *,
+    label: str = "sweep session",
+    labels: dict[str, str] | None = None,
+) -> Path:
+    trace = build_session_trace(records, label=label, labels=labels)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")
     return path

@@ -1,0 +1,384 @@
+"""Host-chaos tests: crash/resume equivalence for durable sweeps.
+
+The property under test, at every interruption point the host can
+produce: *a resumed sweep's output is bit-identical to an
+uninterrupted sweep's, with zero re-execution of ``done`` cells.* The
+suite interrupts sweeps by
+
+* SIGKILLing the driver process mid-sweep (the canonical ``kill -9``);
+* killing/hanging pool workers (``BrokenProcessPool``, deadline kill);
+* truncating and corrupting the journal tail (torn writes, bit rot);
+* clean stop requests at every per-run boundary (property sweep).
+
+Worker-level tests monkeypatch ``_execute_payload`` in the parent and
+rely on the fork start method: pool children inherit the patched
+module state, so the patch applies inside workers too (asserted by the
+``fork`` check below).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.executor as executor_module
+from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor, config_fingerprint
+from repro.experiments.session import (
+    RunPolicy,
+    SweepInterrupted,
+    SweepSession,
+    replay_journal,
+)
+from repro.io import to_jsonable
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-chaos tests rely on fork inheritance of monkeypatches",
+)
+
+
+def tiny_timing(algo="bsp", n=1, **overrides):
+    return timing_config(
+        algo, num_workers=n, measure_iters=2, warmup_iters=1, **overrides
+    )
+
+
+def tiny_grid():
+    return [tiny_timing(algo, n) for algo in ("bsp", "ad-psgd") for n in (1, 2)]
+
+
+def stable(results):
+    return [json.dumps(to_jsonable(r), sort_keys=True) for r in results]
+
+
+def durable_executor(tmp_path, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("cache", True)
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("session_root", tmp_path / "sessions")
+    kwargs.setdefault("durable", True)
+    return SweepExecutor(**kwargs)
+
+
+def baseline(grid):
+    """The uninterrupted reference output for bit-identity checks."""
+    return stable(SweepExecutor(jobs=1, cache=False).map(grid))
+
+
+def journal_of(tmp_path):
+    (journal,) = (tmp_path / "sessions").glob("*/journal.jsonl")
+    return journal
+
+
+def count_done(journal):
+    records, _ = replay_journal(journal)
+    return sum(
+        1
+        for r in records
+        if r["ev"] == "run_done" and not r.get("cached")
+    )
+
+
+# -- driver SIGKILL ------------------------------------------------------
+
+# The victim process runs the same tiny grid as the test, serially and
+# durably, pausing after every completed run so the parent has a wide
+# window to SIGKILL it at a chosen point.
+_DRIVER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.experiments.config import timing_config
+from repro.experiments.executor import SweepExecutor
+
+grid = [
+    timing_config(a, num_workers=n, measure_iters=2, warmup_iters=1)
+    for a in ("bsp", "ad-psgd") for n in (1, 2)
+]
+
+def pause_after_done(line):
+    print(line, file=sys.stderr, flush=True)
+    if "done in" in line:
+        time.sleep(0.5)
+
+ex = SweepExecutor(
+    jobs=1, cache=True, cache_dir={cache!r},
+    durable=True, session_root={root!r}, progress=pause_after_done,
+)
+ex.map(grid)
+"""
+
+
+class TestDriverSigkill:
+    def _kill_after(self, tmp_path, done_target):
+        """Start the driver subprocess and SIGKILL it once the journal
+        shows ``done_target`` executed runs. Returns runs done."""
+        script = _DRIVER.format(
+            src=SRC,
+            cache=str(tmp_path / "cache"),
+            root=str(tmp_path / "sessions"),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    pytest.fail("driver finished before it could be killed")
+                try:
+                    done = count_done(journal_of(tmp_path))
+                except ValueError:
+                    done = 0
+                if done >= done_target:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("driver never reached the kill point")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+        assert proc.returncode == -signal.SIGKILL
+        return count_done(journal_of(tmp_path))
+
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path):
+        grid = tiny_grid()
+        done_before = self._kill_after(tmp_path, done_target=1)
+        assert 1 <= done_before < len(grid)
+        resumed = durable_executor(tmp_path)
+        results = resumed.map(grid)
+        # Zero re-execution of done cells; only the remainder ran.
+        assert resumed.last_stats.cache_hits == done_before
+        assert resumed.last_stats.executed == len(grid) - done_before
+        assert resumed.last_stats.failed == 0
+        assert stable(results) == baseline(grid)
+        session = resumed.last_session
+        assert session.completed
+        kinds = [r["ev"] for r in session.records()]
+        # The killed driver left an in-flight attempt behind; resume
+        # abandoned and re-ran it.
+        assert "session_resume" in kinds
+
+    def test_sigkill_leaves_resumable_session_state(self, tmp_path):
+        self._kill_after(tmp_path, done_target=2)
+        grid = tiny_grid()
+        session = SweepSession.open(
+            journal_of(tmp_path).parent.name, root=tmp_path / "sessions"
+        )
+        counts = session.counts()
+        assert counts["done"] >= 2
+        assert not session.completed
+        # The kill landed mid-run: that attempt was abandoned on open.
+        assert counts["pending"] + counts["done"] == len(grid)
+
+
+# -- worker chaos --------------------------------------------------------
+#
+# Top-level (fork-picklable) stand-ins for _execute_payload. Each takes
+# its cue from a marker file whose path travels via the environment;
+# "consume the marker, then misbehave" makes the fault one-shot.
+
+_REAL_EXECUTE = executor_module._execute_payload
+
+
+def _consume_marker() -> bool:
+    marker = os.environ.get("REPRO_CHAOS_MARKER")
+    if not marker:
+        return False
+    try:
+        os.unlink(marker)
+    except OSError:
+        return False
+    return True
+
+
+def _die_once(config):
+    if _consume_marker():
+        os._exit(1)  # the pool sees BrokenProcessPool
+    return _REAL_EXECUTE(config)
+
+
+def _hang_once(config):
+    if _consume_marker():
+        time.sleep(120)  # way past any test deadline
+    return _REAL_EXECUTE(config)
+
+
+class TestWorkerChaos:
+    def _arm(self, monkeypatch, tmp_path, stand_in):
+        marker = tmp_path / "chaos-marker"
+        marker.write_text("")
+        monkeypatch.setenv("REPRO_CHAOS_MARKER", str(marker))
+        monkeypatch.setattr(executor_module, "_execute_payload", stand_in)
+
+    def test_worker_death_recycles_pool_without_charge(
+        self, tmp_path, monkeypatch
+    ):
+        self._arm(monkeypatch, tmp_path, _die_once)
+        grid = tiny_grid()
+        ex = durable_executor(
+            tmp_path,
+            jobs=2,
+            policy=RunPolicy(backoff_base_s=0.0, poll_interval_s=0.02),
+        )
+        results = ex.map(grid)
+        assert stable(results) == baseline(grid)
+        stats = ex.last_stats
+        # Pool mortality is not a run failure: nothing was charged.
+        assert stats.failed == 0
+        assert stats.retried == 0
+        kinds = [r["ev"] for r in ex.last_session.records()]
+        assert "pool_recycled" in kinds
+
+    def test_hung_run_killed_at_deadline_and_retried(
+        self, tmp_path, monkeypatch
+    ):
+        self._arm(monkeypatch, tmp_path, _hang_once)
+        grid = tiny_grid()
+        ex = durable_executor(
+            tmp_path,
+            jobs=2,
+            policy=RunPolicy(
+                timeout_s=1.5,
+                backoff_base_s=0.0,
+                backoff_jitter=0.0,
+                poll_interval_s=0.05,
+            ),
+        )
+        t0 = time.monotonic()
+        results = ex.map(grid)
+        assert time.monotonic() - t0 < 60  # the hang did not win
+        assert stable(results) == baseline(grid)
+        stats = ex.last_stats
+        assert stats.deadline_kills == 1
+        assert stats.retried == 1
+        assert stats.failed == 0
+        kinds = [r["ev"] for r in ex.last_session.records()]
+        assert "deadline_kill" in kinds
+
+    def test_deadline_applies_with_jobs_1(self, tmp_path, monkeypatch):
+        """A single-job sweep with a timeout still runs in a pool —
+        an in-process hang could never be killed."""
+        self._arm(monkeypatch, tmp_path, _hang_once)
+        grid = [tiny_timing()]
+        ex = durable_executor(
+            tmp_path,
+            jobs=1,
+            policy=RunPolicy(
+                timeout_s=1.0, backoff_base_s=0.0, poll_interval_s=0.05
+            ),
+        )
+        results = ex.map(grid)
+        assert ex.last_stats.deadline_kills == 1
+        assert results[0].measured_images > 0
+
+
+# -- journal damage ------------------------------------------------------
+
+
+class TestJournalDamage:
+    def _interrupted_session(self, tmp_path, stop_after=2):
+        """A sweep cleanly stopped after ``stop_after`` runs."""
+        ex = durable_executor(tmp_path)
+        seen = []
+
+        def stop(line):
+            seen.append(line)
+            if sum("done in" in s for s in seen) == stop_after:
+                ex.request_stop("chaos setup")
+
+        ex.progress = stop
+        with pytest.raises(SweepInterrupted):
+            ex.map(tiny_grid())
+        return journal_of(tmp_path)
+
+    def test_torn_tail_resumes_bit_identical(self, tmp_path):
+        journal = self._interrupted_session(tmp_path)
+        # A crash tears the final append mid-line.
+        with open(journal, "ab") as fh:
+            fh.write(b'{"ev":"run_sta')
+        grid = tiny_grid()
+        resumed = durable_executor(tmp_path)
+        results = resumed.map(grid)
+        assert resumed.last_session.recovery["torn_tail"] == 1
+        assert resumed.last_stats.cache_hits == 2
+        assert resumed.last_stats.executed == 2
+        assert stable(results) == baseline(grid)
+
+    def test_truncated_tail_resumes_bit_identical(self, tmp_path):
+        journal = self._interrupted_session(tmp_path)
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[: len(raw) - 17])  # power loss mid-write
+        grid = tiny_grid()
+        resumed = durable_executor(tmp_path)
+        results = resumed.map(grid)
+        assert resumed.last_session.recovery["torn_tail"] == 1
+        assert stable(results) == baseline(grid)
+        # Done cells never re-execute: the cache, not the journal, is
+        # the authority on results.
+        assert resumed.last_stats.cache_hits == 2
+
+    def test_corrupt_middle_record_resumes_bit_identical(self, tmp_path):
+        journal = self._interrupted_session(tmp_path)
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[2] = b"\x00\xff garbage \x00\n"
+        journal.write_bytes(b"".join(lines))
+        grid = tiny_grid()
+        resumed = durable_executor(tmp_path)
+        results = resumed.map(grid)
+        assert resumed.last_session.recovery["corrupt"] == 1
+        assert stable(results) == baseline(grid)
+
+    def test_entire_journal_lost_still_resumes_from_cache(self, tmp_path):
+        journal = self._interrupted_session(tmp_path)
+        journal.unlink()
+        grid = tiny_grid()
+        resumed = durable_executor(tmp_path)
+        results = resumed.map(grid)
+        # The journal is telemetry; results durability is the cache's.
+        assert resumed.last_stats.cache_hits == 2
+        assert resumed.last_stats.executed == 2
+        assert stable(results) == baseline(grid)
+
+
+# -- property sweep: interrupt at every boundary -------------------------
+
+
+class TestInterruptionPointSweep:
+    def test_every_stop_point_resumes_bit_identical(self, tmp_path):
+        """Stop after k = 1..n-1 completed runs; every resume must be
+        bit-identical with exactly n-k re-executions."""
+        grid = tiny_grid()
+        reference = baseline(grid)
+        for k in range(1, len(grid)):
+            root = tmp_path / f"stop{k}"
+            ex = durable_executor(root)
+            seen = []
+
+            def stop(line, ex=ex, k=k, seen=seen):
+                seen.append(line)
+                if sum("done in" in s for s in seen) == k:
+                    ex.request_stop(f"stop point {k}")
+
+            ex.progress = stop
+            with pytest.raises(SweepInterrupted) as excinfo:
+                ex.map(grid)
+            assert excinfo.value.done == k
+            resumed = durable_executor(root)
+            results = resumed.map(grid)
+            assert resumed.last_stats.cache_hits == k, f"stop point {k}"
+            assert resumed.last_stats.executed == len(grid) - k
+            assert stable(results) == reference, f"stop point {k}"
+            assert resumed.last_session.completed

@@ -194,6 +194,41 @@ class TestRunCache:
         assert cache.get(fp) is None
         assert not (tmp_path / f"{fp}.json").exists()
 
+    def test_bad_entries_quarantined_as_evidence(self, tmp_path):
+        """Corrupt entries move to .corrupt/, they are not deleted."""
+        grid = [tiny_timing()]
+        ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        ex.map(grid)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{ this is not json")
+        again = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        again.map(grid)
+        assert again.last_stats.quarantined == 1
+        assert again.last_stats.executed == 1
+        quarantined = list((tmp_path / ".corrupt").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text() == "{ this is not json"
+        # Repeated corruption of the same entry keeps distinct evidence.
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("also not json")
+        third = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        third.map(grid)
+        assert third.last_stats.quarantined == 1
+        assert len(list((tmp_path / ".corrupt").iterdir())) == 2
+
+    def test_quarantined_entries_never_served(self, tmp_path):
+        """The sidecar sits outside the lookup path for good."""
+        grid = [tiny_timing()]
+        ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        ex.map(grid)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("junk")
+        SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path).map(grid)
+        warm = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
+        warm.map(grid)
+        assert warm.last_stats.cache_hits == 1
+        assert warm.last_stats.quarantined == 0
+
     def test_duplicate_configs_run_once_distinct_objects(self, tmp_path):
         cfg = tiny_timing()
         ex = SweepExecutor(jobs=1, cache=True, cache_dir=tmp_path)
@@ -345,7 +380,8 @@ class TestSweepTelemetry:
         assert d["total"] == 1 and d["executed"] == 1
         assert set(d) == {
             "total", "unique", "cache_hits", "executed", "jobs",
-            "wall_time", "attribution",
+            "wall_time", "failed", "retried", "deadline_kills",
+            "quarantined", "attribution",
         }
         # Timing runs carry breakdowns: the sweep attribution rides along.
         assert "bsp" in d["attribution"]

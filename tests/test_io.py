@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.history import ThroughputResult, TrainingHistory
 from repro.io import (
+    append_text,
     atomic_write_text,
     history_from_dict,
     history_to_dict,
@@ -88,6 +89,24 @@ class TestAtomicWrite:
     def test_no_temp_files_left_behind(self, tmp_path):
         atomic_write_text(tmp_path / "x.txt", "data")
         assert [p.name for p in tmp_path.iterdir()] == ["x.txt"]
+
+
+class TestAppendText:
+    def test_appends_in_order(self, tmp_path):
+        target = tmp_path / "j.jsonl"
+        append_text(target, "one\n")
+        append_text(target, "two\n")
+        assert target.read_text() == "one\ntwo\n"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = append_text(tmp_path / "a" / "b" / "j.jsonl", "x\n")
+        assert path.read_text() == "x\n"
+
+    def test_fsync_variant_appends_identically(self, tmp_path):
+        target = tmp_path / "j.jsonl"
+        append_text(target, "plain\n")
+        append_text(target, "synced\n", fsync=True)
+        assert target.read_text() == "plain\nsynced\n"
 
 
 class TestHistoryRoundtrip:
