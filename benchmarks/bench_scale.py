@@ -1,0 +1,162 @@
+"""Scale benchmark: analytic fast path vs discrete-event engine.
+
+Measures, per worker count N ∈ {24, 256, 1024}:
+
+* ``predict_s``   — analytic evaluation wall time (best of repeats);
+* ``simulate_s``  — discrete-event wall time on the hierarchical
+  fabric (16 machines/rack, 4:1 oversubscription);
+* ``speedup``     — simulate_s / predict_s;
+* ``rel_error``   — analytic vs simulated throughput (flat fig-2
+  topology, where the models are calibrated);
+* ``rss_delta_mb`` — resident-set growth across the simulated run
+  (flat per-worker memory is the scale-layer contract).
+
+plus the full analytic fig-2 curves to N = 10,000 for all seven
+algorithms at both paper bandwidths. Each invocation appends one
+record to ``benchmarks/BENCH_scale.json``; wall-clock assertions are
+deliberately soft (container timing is noisy) — the history is the
+tracked signal, except the two load-bearing contracts: the analytic
+path stays under 10 ms per config (generous CI ceiling below) and the
+N = 1024 discrete-event run completes.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): N = 24 only, curves
+to N = 1024, written to a throwaway file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import DistributedRunner
+from repro.experiments.config import timing_config
+from repro.experiments.scalability import scale_worker_counts
+from repro.perf import SUPPORTED_ALGORITHMS, predict_run
+from repro.sim.cluster import hierarchical_cluster
+
+pytestmark = pytest.mark.slow
+
+BENCH_FILE = Path(__file__).parent / "BENCH_scale.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+DE_WORKER_COUNTS = (24,) if SMOKE else (24, 256, 1024)
+CURVE_MAX = 1024 if SMOKE else 10_000
+PREDICT_REPEATS = 3
+MEASURE_ITERS = 3
+
+
+def _fig2_config(algo: str, n: int, bw: float, **overrides):
+    return timing_config(
+        algo,
+        num_workers=n,
+        bandwidth_gbps=bw,
+        measure_iters=MEASURE_ITERS,
+        warmup_iters=1,
+        wait_free_bp=algo in ("bsp", "asp", "ssp"),
+        **overrides,
+    )
+
+
+def _hier_config(algo: str, n: int, bw: float):
+    cluster = hierarchical_cluster(
+        machines=max(1, n // 4),
+        machines_per_rack=16,
+        oversubscription=4.0,
+        bandwidth_gbps=bw,
+    )
+    return _fig2_config(algo, n, bw, cluster=cluster)
+
+
+def _best_predict_s(cfg) -> float:
+    best = float("inf")
+    for _ in range(PREDICT_REPEATS):
+        t0 = time.perf_counter()
+        predict_run(cfg)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def test_scale():
+    cells = {}
+    for n in DE_WORKER_COUNTS:
+        # Accuracy is judged on the flat calibrated topology; wall time
+        # and memory on the hierarchical fabric a real N would use.
+        flat_cfg = _fig2_config("bsp", n, 56.0)
+        predict_s = _best_predict_s(flat_cfg)
+        prediction = predict_run(flat_cfg)
+
+        rss_before = _rss_mb()
+        t0 = time.perf_counter()
+        runner = DistributedRunner(flat_cfg)
+        simulated = runner.run()
+        flat_sim_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        hier_runner = DistributedRunner(_hier_config("bsp", n, 56.0))
+        hier_result = hier_runner.run()
+        hier_sim_s = time.perf_counter() - t0
+        rss_delta = _rss_mb() - rss_before
+
+        assert simulated.throughput > 0 and hier_result.throughput > 0
+        rel_error = (prediction.throughput - simulated.throughput) / simulated.throughput
+        cells[f"bsp/{n}w"] = {
+            "predict_s": round(predict_s, 5),
+            "simulate_flat_s": round(flat_sim_s, 3),
+            "simulate_hier_s": round(hier_sim_s, 3),
+            "speedup": round(flat_sim_s / predict_s) if predict_s > 0 else None,
+            "rel_error": round(rel_error, 4),
+            "events_flat": runner.engine.events_processed,
+            "events_hier": hier_runner.engine.events_processed,
+            "rss_delta_mb": round(rss_delta, 1),
+        }
+        # The analytic path must stay interactive at any N. 10 ms is the
+        # calibrated-machine number; 50 ms absorbs CI noise while still
+        # catching an accidental O(N·S) regression.
+        assert predict_s < 0.05, f"predict at N={n} took {predict_s * 1e3:.1f} ms"
+
+    curves = {}
+    ladder = scale_worker_counts(CURVE_MAX)
+    for algo in SUPPORTED_ALGORITHMS:
+        for bw in (10.0, 56.0):
+            t0 = time.perf_counter()
+            points = [
+                round(predict_run(_fig2_config(algo, n, bw)).speedup, 1)
+                for n in ladder
+            ]
+            curves[f"{algo}/{bw:g}G"] = {
+                "workers": list(ladder),
+                "speedup": points,
+                "predict_total_s": round(time.perf_counter() - t0, 4),
+            }
+
+    record = {
+        "grid": (
+            f"bsp DE at {list(DE_WORKER_COUNTS)}w (flat + hier r16 o4, "
+            f"{MEASURE_ITERS} iters) + analytic curves to {CURVE_MAX}w, "
+            f"all {len(SUPPORTED_ALGORITHMS)} algorithms, resnet50"
+        ),
+        "cells": cells,
+        "curves": curves,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+    if SMOKE:
+        out = Path(__file__).parent / "BENCH_scale.smoke.json"
+        out.write_text(json.dumps([record], indent=2) + "\n")
+        assert json.loads(out.read_text())[0]["cells"]
+        out.unlink()
+        return
+
+    records = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else []
+    records.append(record)
+    BENCH_FILE.write_text(json.dumps(records, indent=2) + "\n")
+    print("\n" + json.dumps(record, indent=2))

@@ -23,11 +23,31 @@ def ideal_single_worker_throughput(
 def speedup_series(
     results: Sequence[ThroughputResult], baseline_throughput: float
 ) -> list[tuple[int, float]]:
-    """(num_workers, speedup) pairs sorted by worker count."""
+    """(num_workers, speedup) pairs sorted by worker count.
+
+    Duplicate worker counts (the same N measured more than once, e.g.
+    when multi-bandwidth or multi-seed series are merged) are averaged,
+    so the output has exactly one point per worker count regardless of
+    input order.
+    """
     if baseline_throughput <= 0:
         raise ValueError("baseline throughput must be positive")
-    pairs = [(r.num_workers, r.throughput / baseline_throughput) for r in results]
-    return sorted(pairs)
+    by_n: dict[int, list[float]] = {}
+    for r in results:
+        by_n.setdefault(r.num_workers, []).append(r.throughput)
+    return [
+        (n, sum(tputs) / len(tputs) / baseline_throughput)
+        for n, tputs in sorted(by_n.items())
+    ]
+
+
+def _series_map(series: Sequence[tuple[int, float]]) -> dict[int, float]:
+    """Collapse a series to one value per worker count (mean over
+    duplicates — deterministic, unlike ``dict(series)``'s last-wins)."""
+    acc: dict[int, list[float]] = {}
+    for n, value in series:
+        acc.setdefault(n, []).append(value)
+    return {n: sum(vals) / len(vals) for n, vals in acc.items()}
 
 
 def crossover_points(
@@ -36,10 +56,11 @@ def crossover_points(
     """Worker counts where the faster of two algorithms flips.
 
     Used to locate findings like "ASP is slower than BSP at 10 Gbps but
-    faster at 56 Gbps" in the measured curves.
+    faster at 56 Gbps" in the measured curves. Duplicate worker counts
+    within either series are averaged before comparison.
     """
-    a = dict(series_a)
-    b = dict(series_b)
+    a = _series_map(series_a)
+    b = _series_map(series_b)
     common = sorted(set(a) & set(b))
     flips: list[int] = []
     prev_sign = None

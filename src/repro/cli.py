@@ -11,6 +11,10 @@ Usage::
     python -m repro run fig3
     python -m repro run fig4 [--model resnet50] [--bandwidth 10]
     python -m repro run fig2 --jobs 8 --cache-dir /tmp/repro-cache
+    python -m repro run fig2 --analytic --max-workers 10000
+    python -m repro predict bsp --workers 1024 [--bandwidth 10]
+    python -m repro predict all --max-workers 10000 --output curves.json
+    python -m repro predict ssp --workers 64 --validate
     python -m repro train bsp --workers 8 --epochs 10
     python -m repro trace fig3 --out fig3_trace.json
     python -m repro run fig3 --trace-out fig3_trace.json
@@ -67,6 +71,16 @@ cleanly (journal flushed, resume command printed, exit 130); a second
 signal hard-exits. ``repro sweep list/show/resume`` manage sessions;
 ``sweep show --trace-out`` exports the journal as a Perfetto trace.
 
+``predict`` evaluates the closed-form iteration-time models of
+:mod:`repro.perf` — milliseconds per configuration at any N, including
+N = 10,000 — printing predicted iteration time, throughput, speedup,
+the binding regime, and (single-point mode) the critical-path
+breakdown and per-station capacity bounds. ``--max-workers`` predicts
+a whole scaling curve; ``--validate`` cross-checks against the
+discrete-event engine (within 10 % at N ≤ 64). ``run fig2
+--analytic [--max-workers N]`` swaps the engine for the same models
+across the whole fig2 grid.
+
 ``trace`` (or ``--trace-out`` on ``run``/``train``) exports a
 Chrome/Perfetto trace-event JSON of one instrumented run — load it at
 https://ui.perfetto.dev or chrome://tracing. ``run --trace-out``
@@ -95,9 +109,11 @@ import json
 import sys
 from typing import Any, Callable
 
-from repro.io import save_json
-
 __all__ = ["main", "build_parser"]
+
+# Everything heavier than argparse (numpy, the engine, repro.io) is
+# imported inside the command handlers: `repro --help`, bad-usage
+# errors and `repro sweep list` should not pay for the simulator.
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4")
 
@@ -142,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="also export a Perfetto trace of one representative run here",
+    )
+    run.add_argument(
+        "--analytic",
+        action="store_true",
+        help=(
+            "fig2 only: evaluate the grid with the closed-form models of "
+            "repro.perf instead of the discrete-event engine"
+        ),
+    )
+    run.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="fig2 only: extend the worker ladder up to this N (e.g. 10000)",
     )
     _add_analyze_arg(run)
     _add_profile_arg(run)
@@ -223,6 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
     byz.add_argument("--no-cache", action="store_true")
     byz.add_argument("--cache-dir", type=str, default=None)
     _add_durable_args(byz)
+
+    predict = sub.add_parser(
+        "predict",
+        help="analytic iteration-time prediction (closed form, no simulation)",
+    )
+    predict.add_argument(
+        "algorithm",
+        help="algorithm name, or 'all' for every supported algorithm",
+    )
+    predict.add_argument("--workers", type=int, default=24)
+    predict.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="predict a whole scaling curve up to this N instead of one point",
+    )
+    predict.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
+    predict.add_argument("--bandwidth", type=float, default=10.0, help="Gbps")
+    predict.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "also run the discrete-event engine on the same config(s) and "
+            "report the relative error (single-point mode; slow at large N)"
+        ),
+    )
+    predict.add_argument("--output", type=str, default=None, help="write JSON here")
 
     analyze = sub.add_parser(
         "analyze",
@@ -538,6 +595,10 @@ def _run_experiment(args: argparse.Namespace) -> tuple[str, Any]:
         kwargs: dict[str, Any] = {"model": args.model}
         if args.iters is not None:
             kwargs["measure_iters"] = args.iters
+        if args.analytic:
+            kwargs["analytic"] = True
+        if args.max_workers is not None:
+            kwargs["max_workers"] = args.max_workers
         result = run_fig2(**kwargs)
         return result.render() + "\n\n" + fig2_chart(result), result
     if args.experiment == "fig3":
@@ -644,6 +705,102 @@ def _run_train(args: argparse.Namespace) -> tuple[str, Any]:
     return text, payload
 
 
+def _run_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.experiments.config import timing_config
+    from repro.experiments.scalability import _supports, scale_worker_counts
+    from repro.perf import SUPPORTED_ALGORITHMS, cross_validate, predict_run
+
+    name = args.algorithm.lower().replace("_", "-")
+    algorithms = sorted(SUPPORTED_ALGORITHMS) if name == "all" else [name]
+    unknown = [a for a in algorithms if a not in SUPPORTED_ALGORITHMS]
+    if unknown:
+        raise SystemExit(
+            f"unknown algorithm {unknown[0]!r}: expected one of "
+            f"{', '.join(sorted(SUPPORTED_ALGORITHMS))} or 'all'"
+        )
+    counts = (
+        scale_worker_counts(args.max_workers)
+        if args.max_workers is not None
+        else (args.workers,)
+    )
+
+    def make_cfg(algo: str, n: int) -> Any:
+        return timing_config(
+            algo,
+            num_workers=n,
+            bandwidth_gbps=args.bandwidth,
+            model=args.model,
+            wait_free_bp=_supports(algo, "waitfree"),
+        )
+
+    payload: dict[str, Any] = {"predictions": [], "validations": []}
+    rows = []
+    for algo in algorithms:
+        for n in counts:
+            pred = predict_run(make_cfg(algo, n))
+            payload["predictions"].append(pred.to_dict())
+            rows.append(
+                [
+                    algo,
+                    n,
+                    f"{pred.iteration_time * 1e3:.1f}",
+                    f"{pred.throughput:.0f}",
+                    f"{pred.speedup:.1f}",
+                    pred.regime,
+                    f"{pred.elapsed_s * 1e3:.1f}",
+                ]
+            )
+    print(
+        format_table(
+            ["algorithm", "workers", "iter ms", "images/s", "speedup", "regime", "model ms"],
+            rows,
+            title=(
+                f"Analytic prediction — {args.model} @ {args.bandwidth:g} Gbps"
+            ),
+        )
+    )
+    if len(algorithms) == 1 and len(counts) == 1:
+        pred = predict_run(make_cfg(algorithms[0], counts[0]))
+        print("\nbreakdown (critical-path seconds per round):")
+        for cat, secs in sorted(pred.breakdown.items()):
+            print(f"  {cat:12s} {secs:8.4f}")
+        print("capacity bounds (worker-iterations/s):")
+        for station, rate in sorted(pred.bounds.items()):
+            shown = "inf" if rate == float("inf") else f"{rate:.2f}"
+            print(f"  {station:12s} {shown:>10s}")
+    if args.validate:
+        vrows = []
+        for algo in algorithms:
+            for n in counts:
+                cv = cross_validate(make_cfg(algo, n))
+                payload["validations"].append(cv.to_dict())
+                vrows.append(
+                    [
+                        algo,
+                        n,
+                        f"{cv.simulated.throughput:.0f}",
+                        f"{cv.prediction.throughput:.0f}",
+                        f"{cv.rel_error:+.1%}",
+                        f"{cv.speedup_vs_engine:.0f}x",
+                    ]
+                )
+        print()
+        print(
+            format_table(
+                ["algorithm", "workers", "engine", "analytic", "rel err", "speedup"],
+                vrows,
+                title="Cross-validation — analytic vs discrete-event",
+            )
+        )
+    if args.output:
+        from repro.io import save_json
+
+        path = save_json(payload, args.output)
+        print(f"\n[result written to {path}]")
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.experiments.config import representative_config
 
@@ -719,6 +876,8 @@ def _run_analyze(args: argparse.Namespace) -> int:
             f"tolerance {crosscheck['tolerance']:.2f})"
         )
     if args.json:
+        from repro.io import save_json
+
         path = save_json(report, args.json)
         print(f"\n[report written to {path}]")
     if args.check:
@@ -795,6 +954,8 @@ def _run_sweep_cmd(args: argparse.Namespace) -> int:
                 f"{recovery['corrupt']} corrupt line(s) dropped"
             )
         if args.json:
+            from repro.io import save_json
+
             path = save_json(session.to_dict(), args.json)
             print(f"[session state written to {path}]")
         if args.trace_out:
@@ -905,6 +1066,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "predict":
+        return _run_predict(args)
     if args.command == "sweep":
         return _run_sweep_cmd(args)
     sweep_stats = None
@@ -1022,6 +1185,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 payload["attribution_summary"] = analysis["summary"]
         else:
             payload = result
+        from repro.io import save_json
+
         path = save_json(payload, args.output)
         print(f"\n[result written to {path}]")
     return 0

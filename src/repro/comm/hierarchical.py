@@ -1,0 +1,82 @@
+"""Hierarchical collective schedules.
+
+A flat ring allreduce is bandwidth-optimal but its 2·(N−1) latency
+terms make it latency-bound at rack scale, and it is oblivious to the
+two-tier cost structure of a real fabric (fast intra-machine bus,
+oversubscribed ToR uplinks). The schedules here exploit the hierarchy:
+
+* **ring-of-rings** ("hring") — reduce each machine's workers to a
+  machine leader over the bus, ring-allreduce across the leaders
+  (2·(L−1) steps over L machines instead of 2·(N−1) over N workers),
+  then broadcast back over the bus. Per-NIC traffic drops from
+  ``2·M·(N−1)/N`` to ``2·M·(L−1)/L`` and latency terms drop by the
+  machine width.
+* **reduce/broadcast tree** ("tree") — after the same intra-machine
+  reduce, leaders aggregate up a k-ary tree and the root broadcasts
+  down it: ``2·M·log_k(L)`` critical-path bytes, the latency-optimal
+  shape for very large L. Because leaders are ordered by machine index
+  (= rack-contiguous under block placement), most tree edges stay
+  inside a rack and only the top levels cross the spine.
+
+This module is pure scheduling — group/tree geometry with no simulator
+imports; the timed execution lives in the algorithms (AR-SGD's entry
+generators, BSP's rack aggregators).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = [
+    "machine_groups",
+    "group_by",
+    "tree_parent",
+    "tree_children",
+    "DEFAULT_TREE_ARITY",
+]
+
+# Fan-in of the reduce/broadcast tree. 4 balances per-node ingress
+# serialisation (k·M bytes at each level) against depth (log_k L).
+DEFAULT_TREE_ARITY = 4
+
+
+def group_by(members: Sequence[int], key: Callable[[int], int]) -> list[list[int]]:
+    """Partition ``members`` into contiguous-key groups, ordered by key.
+
+    Each group keeps its members in input order; the first member is
+    the group's leader by convention.
+    """
+    groups: dict[int, list[int]] = {}
+    for m in members:
+        groups.setdefault(key(m), []).append(m)
+    return [groups[k] for k in sorted(groups)]
+
+
+def machine_groups(
+    ring: Sequence[int], machine_of: Callable[[int], int]
+) -> list[list[int]]:
+    """Group a (sorted) worker ring by hosting machine.
+
+    Under block placement the groups are contiguous runs of the ring;
+    after evictions a machine's surviving workers still form one group.
+    """
+    return group_by(ring, machine_of)
+
+
+def tree_parent(index: int, arity: int = DEFAULT_TREE_ARITY) -> int | None:
+    """Parent of ``index`` in the implicit k-ary tree (None for the root)."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    if index == 0:
+        return None
+    return (index - 1) // arity
+
+
+def tree_children(
+    index: int, world: int, arity: int = DEFAULT_TREE_ARITY
+) -> list[int]:
+    """Children of ``index`` in the implicit k-ary tree over ``world`` nodes."""
+    if not 0 <= index < world:
+        raise ValueError("index out of range")
+    first = index * arity + 1
+    return list(range(first, min(first + arity, world)))

@@ -20,6 +20,12 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.comm.collectives import chunk_slices, ring_allreduce_plan, ring_neighbors
+from repro.comm.hierarchical import (
+    DEFAULT_TREE_ARITY,
+    machine_groups,
+    tree_children,
+    tree_parent,
+)
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
 from repro.core.runner import Runtime
 from repro.core.worker import WorkerSlot, produce_gradient
@@ -82,6 +88,138 @@ def _ring_allreduce_entry(
                 buf[recv_slice] += msg.payload
             else:
                 buf[recv_slice] = msg.payload
+    done.trigger(buf, engine=rt.engine)
+
+
+def _hier_allreduce_entry(
+    rt: Runtime,
+    slot: WorkerSlot,
+    ring: list[int],
+    entry_label: str,
+    ranges: tuple[tuple[int, int], ...],
+    vec: np.ndarray | None,
+    num_elements: int,
+    done: Signal,
+    scheme: str,
+) -> Generator[Any, Any, None]:
+    """Hierarchical AllReduce of one entry (``scheme``: "tree"/"hring").
+
+    Three phases: (1) intra-machine reduce — each non-leader ships its
+    entry vector to its machine leader over the bus; (2) inter-machine
+    combine across the leaders — a ring allreduce ("hring") or a k-ary
+    reduce+broadcast tree ("tree"); (3) intra-machine broadcast of the
+    global sum. Triggers ``done`` with the summed vector (``None`` in
+    timing mode), exactly like the flat ring entry.
+    """
+    world = len(ring)
+    if world == 1:
+        done.trigger(vec, engine=rt.engine)
+        return
+        yield  # pragma: no cover
+    groups = machine_groups(ring, lambda w: rt.workers[w].machine)
+    group = next(g for g in groups if slot.wid in g)
+    leaders = [g[0] for g in groups]
+    bpp = rt.sharding.bytes_per_param
+    entry_bytes = max(num_elements * bpp, 1)
+    k_up = f"hier:{entry_label}:u"
+    k_down = f"hier:{entry_label}:d"
+    wid = slot.wid
+    buf = vec.copy() if vec is not None else None
+    reduce_timeout = rt.ctx.comm_model.reduce_timeout
+
+    if wid != group[0]:
+        # Member: one shipment up, one broadcast down.
+        leader_node = rt.workers[group[0]].node
+        slot.node.send_nowait(
+            leader_node, k_up, nbytes=entry_bytes, payload=buf, trace_worker=wid
+        )
+        msg = yield Get(slot.node.mailbox(k_down))
+        done.trigger(
+            np.asarray(msg.payload, dtype=np.float64)
+            if msg.payload is not None
+            else None,
+            engine=rt.engine,
+        )
+        return
+
+    # Machine leader: fold the colocated members' vectors.
+    get_up = Get(slot.node.mailbox(k_up))
+    for _ in range(len(group) - 1):
+        msg = yield get_up
+        yield reduce_timeout(msg.nbytes)
+        if buf is not None and msg.payload is not None:
+            buf += msg.payload
+
+    rank = leaders.index(wid)
+    nleaders = len(leaders)
+    if nleaders > 1 and scheme == "hring":
+        # Ring allreduce across the machine leaders.
+        _, right = ring_neighbors(rank, nleaders)
+        right_node = rt.workers[leaders[right]].node
+        slices = chunk_slices(num_elements, nleaders)
+        sizes = [max((s.stop - s.start) * bpp, 1) for s in slices]
+        k_ring = f"hier:{entry_label}:r"
+        get_ring = Get(slot.node.mailbox(k_ring))
+        send = slot.node.send_nowait
+        for step in ring_allreduce_plan(rank, nleaders):
+            payload = buf[slices[step.send_chunk]].copy() if buf is not None else None
+            send(
+                right_node,
+                k_ring,
+                nbytes=sizes[step.send_chunk],
+                payload=payload,
+                trace_worker=wid,
+            )
+            msg = yield get_ring
+            if step.reduce:
+                yield reduce_timeout(msg.nbytes)
+            if buf is not None and msg.payload is not None:
+                recv_slice = slices[step.recv_chunk]
+                if step.reduce:
+                    buf[recv_slice] += msg.payload
+                else:
+                    buf[recv_slice] = msg.payload
+    elif nleaders > 1:
+        # k-ary reduce tree over leader ranks, then broadcast down it.
+        children = tree_children(rank, nleaders, DEFAULT_TREE_ARITY)
+        parent = tree_parent(rank, DEFAULT_TREE_ARITY)
+        k_tree_up = f"hier:{entry_label}:tu"
+        k_tree_down = f"hier:{entry_label}:td"
+        get_tree_up = Get(slot.node.mailbox(k_tree_up))
+        for _ in children:
+            msg = yield get_tree_up
+            yield reduce_timeout(msg.nbytes)
+            if buf is not None and msg.payload is not None:
+                buf += msg.payload
+        if parent is not None:
+            slot.node.send_nowait(
+                rt.workers[leaders[parent]].node,
+                k_tree_up,
+                nbytes=entry_bytes,
+                payload=buf.copy() if buf is not None else None,
+                trace_worker=wid,
+            )
+            msg = yield Get(slot.node.mailbox(k_tree_down))
+            if buf is not None and msg.payload is not None:
+                buf = np.asarray(msg.payload, dtype=np.float64)
+        for child in children:
+            slot.node.send_nowait(
+                rt.workers[leaders[child]].node,
+                k_tree_down,
+                nbytes=entry_bytes,
+                payload=buf.copy() if buf is not None else None,
+                trace_worker=wid,
+            )
+
+    # Broadcast the global sum to the colocated members.
+    for member in group[1:]:
+        slot.node.send_nowait(
+            rt.workers[member].node,
+            k_down,
+            nbytes=entry_bytes,
+            payload=buf.copy() if buf is not None else None,
+            trace_worker=wid,
+        )
     done.trigger(buf, engine=rt.engine)
 
 
@@ -180,6 +318,11 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
     entries = rt.comm_plan.entries
     dgc_on = rt.dgc_config is not None
     world = len(ring)
+    # Collective selector: flat ring (paper default) vs hierarchical
+    # tree / ring-of-rings. DGC and robust runs use their own
+    # allgather schedules regardless (RunConfig validation forbids
+    # combining them with a hierarchical collective).
+    scheme = rt.config.collective or "ring"
     # Per-entry constants (offsets, ranges, process names) are fixed
     # for the life of this worker; resolve them once, not per iteration.
     entry_specs = [
@@ -251,10 +394,17 @@ def _arsgd_worker(rt: Runtime, slot: WorkerSlot, ring: list[int]) -> Generator[A
                     else None
                 )
                 done = Signal()
-                rt.spawn(
-                    _ring_allreduce_entry(
+                if scheme == "ring":
+                    collective_gen = _ring_allreduce_entry(
                         rt, slot, ring, entry.label, ranges, vec, entry.num_elements, done
-                    ),
+                    )
+                else:
+                    collective_gen = _hier_allreduce_entry(
+                        rt, slot, ring, entry.label, ranges, vec,
+                        entry.num_elements, done, scheme,
+                    )
+                rt.spawn(
+                    collective_gen,
                     name=proc_name,
                     owner=slot.wid,
                 )

@@ -28,6 +28,8 @@ from typing import Any, Generator
 
 import numpy as np
 
+from repro.comm.endpoints import Node
+from repro.comm.hierarchical import group_by
 from repro.comm.messages import Message
 from repro.comm.ps import PSShard
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
@@ -69,6 +71,13 @@ class BSPShard(PSShard):
 
     def serve(self) -> Generator[Any, Any, None]:
         rt = self.runtime
+        if self.entries_per_sender == 0:
+            # More shards than layers (layerwise sharding cannot split a
+            # layer, so S > L leaves S − L shards empty): no gradient
+            # will ever arrive and no leader waits on a reply from this
+            # shard. Park instead of looping — the round loop below
+            # would otherwise spin through zero-message "rounds".
+            return
         get_req = Get(self.mailbox("req"))
         while not rt.stopping:
             # Per round: membership eviction may have shrunk the leader
@@ -85,6 +94,9 @@ class BSPShard(PSShard):
             acc: np.ndarray | None = None
             by_wid: dict[int, np.ndarray | None] = {}
             leaders: list[int] = []
+            # PS-tree senders (rack aggregators) name their own reply
+            # endpoint; direct leaders reply to their worker node.
+            reply_nodes: dict[int, Any] = {}
             first_arrival: float | None = None
             for _ in range(expected):
                 msg = yield get_req
@@ -101,6 +113,9 @@ class BSPShard(PSShard):
                     acc = self.accumulate_entry(acc, msg)
                 if wid not in leaders:
                     leaders.append(wid)
+                    reply_to = msg.meta.get("reply_to")
+                    if reply_to is not None:
+                        reply_nodes[wid] = rt.nodes_by_id[reply_to]
                 yield self.agg_delay(msg.nbytes)
             if rt.stopping:
                 return
@@ -118,7 +133,82 @@ class BSPShard(PSShard):
             self.apply_gradient(acc, rt.lr())
             yield self.agg_delay(self.slice_bytes)
             for wid in leaders:
-                self.reply_params(rt.workers[wid].node, meta={"trace_worker": wid})
+                node = reply_nodes.get(wid)
+                if node is None:
+                    node = rt.workers[wid].node
+                self.reply_params(node, meta={"trace_worker": wid})
+
+
+def _active_shards(rt: Runtime) -> int:
+    """Shards owning ≥ 1 comm-plan entry — the only ones that receive
+    gradients and send replies. Layerwise sharding leaves S − L shards
+    empty when S exceeds the layer count; those park (see
+    :meth:`BSPShard.serve`) and must not be waited on."""
+    return len({e.shard_id for e in rt.comm_plan.entries})
+
+
+def _rack_aggregator(
+    rt: Runtime, node: Node, leader_slots: list[WorkerSlot]
+) -> Generator[Any, Any, None]:
+    """PS-tree middle tier: one aggregator per rack.
+
+    Collects each rack leader's entry means, reduces them to a rack
+    mean, and forwards one gradient set per entry to the shards — so a
+    shard's fan-in is the rack count, not the machine count, and
+    gradient bytes cross the oversubscribed spine once per *rack*
+    instead of once per machine. Shard replies come back here and are
+    re-broadcast to the rack's machine leaders.
+    """
+    entries = rt.comm_plan.entries
+    label_to_idx = {e.label: i for i, e in enumerate(entries)}
+    n = len(leader_slots)
+    owner = leader_slots[0].wid
+    get_req = Get(node.mailbox("req"))
+    get_reply = Get(node.mailbox("reply"))
+    agg_timeout = rt.ctx.comm_model.agg_timeout
+    num_shards = _active_shards(rt)
+    while not rt.stopping:
+        counts = [0] * len(entries)
+        sums: list[np.ndarray | None] = [None] * len(entries)
+        for _ in range(n * len(entries)):
+            msg = yield get_req
+            idx = label_to_idx[msg.meta["entry"]]
+            if msg.payload is not None:
+                payload = np.asarray(msg.payload, dtype=np.float64)
+                sums[idx] = payload if sums[idx] is None else sums[idx] + payload
+            counts[idx] += 1
+            yield agg_timeout(msg.nbytes)
+            if counts[idx] == n:
+                if sums[idx] is not None:
+                    sums[idx] /= n  # forward the rack mean
+                shard = rt.ps_nodes[entries[idx].shard_id]
+                node.send_nowait(
+                    shard,
+                    "req",
+                    nbytes=entries[idx].nbytes,
+                    payload=sums[idx],
+                    meta={
+                        "op": "grad",
+                        "worker": owner,
+                        "entry": entries[idx].label,
+                        "reply_to": node.node_id,
+                    },
+                    trace_worker=owner,
+                )
+        if rt.stopping:
+            return
+        for _ in range(num_shards):
+            msg = yield get_reply
+            for slot in leader_slots:
+                payload = msg.payload
+                node.send_nowait(
+                    slot.node,
+                    "reply",
+                    nbytes=msg.nbytes,
+                    payload=payload.copy() if payload is not None else None,
+                    meta=dict(msg.meta, trace_worker=slot.wid),
+                    trace_worker=slot.wid,
+                )
 
 
 def _peer_worker(
@@ -199,15 +289,24 @@ def _leader_self_feed(
 
 
 def _leader_worker(
-    rt: Runtime, slot: WorkerSlot, peers: list[WorkerSlot]
+    rt: Runtime,
+    slot: WorkerSlot,
+    peers: list[WorkerSlot],
+    agg_node: Node | None = None,
 ) -> Generator[Any, Any, None]:
-    """Group leader: local aggregation + PS round trip + broadcast."""
+    """Group leader: local aggregation + PS round trip + broadcast.
+
+    With the PS tree on, ``agg_node`` is the rack aggregator: all
+    entry gradients go there instead of to the shards, and the shard
+    replies arrive relayed through it (same count, same mailbox).
+    """
     tracer = rt.tracer
     entries = rt.comm_plan.entries
     group_size = len(peers) + 1
     dgc_on = rt.dgc_config is not None
     get_lagg = Get(slot.node.mailbox("lagg"))
     get_reply = Get(slot.node.mailbox("reply"))
+    active_shards = _active_shards(rt)
     while not rt.stopping:
         duration = rt.compute_model.iteration_time(slot.wid)
         grad = produce_gradient(rt, slot)
@@ -248,7 +347,11 @@ def _leader_worker(
                         agg_grad[a:b] = sums[idx][offset : offset + (b - a)]
                         offset += b - a
                 if not dgc_on:
-                    shard = rt.ps_nodes[entries[idx].shard_id]
+                    shard = (
+                        agg_node
+                        if agg_node is not None
+                        else rt.ps_nodes[entries[idx].shard_id]
+                    )
                     payload = sums[idx]
                     slot.node.send_nowait(
                         shard,
@@ -275,7 +378,7 @@ def _leader_worker(
 
         tracer.begin(slot.wid, "global_agg", rt.engine.now)
         flat = slot.comp.get_params() if slot.comp is not None else None
-        for _ in range(rt.sharding.num_shards):
+        for _ in range(active_shards):
             msg = yield get_reply
             apply_reply_payload(rt, flat, msg)
         tracer.end(slot.wid, "global_agg", rt.engine.now)
@@ -308,17 +411,61 @@ class BSP(TrainingAlgorithm):
     def setup(self, runtime: Runtime) -> None:
         self.runtime = runtime
         groups = aggregation_groups(runtime)
-        runtime.create_ps_shards(BSPShard, num_leaders=len(groups))
+        num_senders = len(groups)
+        if runtime.config.ps_topology == "tree":
+            num_senders = len(self._rack_leader_groups(runtime, groups))
+        runtime.create_ps_shards(BSPShard, num_leaders=num_senders)
         self.spawn_workers(runtime, [w for group in groups for w in group])
+
+    @staticmethod
+    def _rack_leader_groups(
+        runtime: Runtime, groups: list[list[int]]
+    ) -> list[list[int]]:
+        """Machine-leader wids grouped by hosting rack (PS tree tier).
+
+        On a flat cluster every machine is rack 0, so the tree
+        degenerates to a single root aggregator in front of the shards.
+        """
+        cluster = runtime.cluster
+        return group_by(
+            [g[0] for g in groups],
+            lambda w: cluster.rack_of_machine(runtime.workers[w].machine),
+        )
 
     def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
         groups = aggregation_groups(runtime, wids)
+        agg_for_leader: dict[int, Node] = {}
+        if runtime.config.ps_topology == "tree":
+            rack_groups = self._rack_leader_groups(runtime, groups)
+            for rack_idx, rack_leaders in enumerate(rack_groups):
+                slots = [runtime.workers[w] for w in rack_leaders]
+                node = Node(
+                    runtime.ctx,
+                    runtime.allocate_node_id(),
+                    slots[0].machine,
+                    name=f"ragg{rack_idx}",
+                )
+                runtime.nodes_by_id[node.node_id] = node
+                runtime.spawn(
+                    _rack_aggregator(runtime, node, slots),
+                    name=f"bsp-ragg-{rack_idx}",
+                )
+                for w in rack_leaders:
+                    agg_for_leader[w] = node
+            num_senders = len(rack_groups)
+        else:
+            num_senders = len(groups)
         for shard in runtime.ps_nodes:
-            shard.num_leaders = len(groups)
+            shard.num_leaders = num_senders
         for group in groups:
             leader = runtime.workers[group[0]]
             runtime.spawn(
-                _leader_worker(runtime, leader, [runtime.workers[w] for w in group[1:]]),
+                _leader_worker(
+                    runtime,
+                    leader,
+                    [runtime.workers[w] for w in group[1:]],
+                    agg_node=agg_for_leader.get(leader.wid),
+                ),
                 name=f"bsp-lead-w{leader.wid}",
                 owner=leader.wid,
             )

@@ -104,6 +104,20 @@ class RunConfig:
     dgc: bool = False
     dgc_config: DGCConfig | None = None
     local_aggregation: bool = True  # BSP within-machine reduction
+    # Hierarchical scale-out selectors. ``collective`` picks AR-SGD's
+    # allreduce schedule: None/"ring" = flat ring (paper behaviour),
+    # "tree" = k-ary reduce+broadcast tree over machine leaders,
+    # "hring" = ring-of-rings (intra-machine reduce → inter-machine
+    # ring → broadcast). ``ps_topology`` picks the PS fan-in for BSP:
+    # None/"flat" = leaders talk to shards directly, "tree" = per-rack
+    # aggregators between machine leaders and shards. Both vanish from
+    # fingerprints when unset.
+    collective: str | None = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
+    ps_topology: str | None = field(
+        default=None, metadata={"fingerprint": "omit-if-none"}
+    )
 
     # cost-model knobs
     speed_spread: float = 0.05
@@ -143,6 +157,28 @@ class RunConfig:
             raise ValueError(f"unknown dataset {self.dataset_name!r}")
         if self.num_ps_shards <= 0:
             raise ValueError("num_ps_shards must be positive")
+        algo = self.algorithm.lower().replace("_", "-")
+        if self.collective not in (None, "ring", "tree", "hring"):
+            raise ValueError("collective must be one of 'ring', 'tree', 'hring'")
+        if self.collective in ("tree", "hring"):
+            if algo != "ar-sgd":
+                raise ValueError(
+                    "hierarchical collectives (tree/hring) apply to ar-sgd only"
+                )
+            if self.dgc or self.robust is not None or self.faults is not None:
+                raise ValueError(
+                    "hierarchical collectives are incompatible with "
+                    "dgc/robust/faults (those paths use their own schedules)"
+                )
+        if self.ps_topology not in (None, "flat", "tree"):
+            raise ValueError("ps_topology must be 'flat' or 'tree'")
+        if self.ps_topology == "tree":
+            if algo != "bsp":
+                raise ValueError("ps_topology='tree' applies to bsp only")
+            if self.dgc or self.robust is not None or self.faults is not None:
+                raise ValueError(
+                    "ps_topology='tree' is incompatible with dgc/robust/faults"
+                )
         if self.measure_iters <= 0 or self.warmup_iters < 0:
             raise ValueError("invalid timing-mode iteration counts")
         if self.faults is not None:

@@ -28,11 +28,25 @@ __all__ = [
     "BreakdownResult",
     "run_fig3",
     "FIG2_ALGORITHMS",
+    "scale_worker_counts",
 ]
 
 # EASGD and GoSGD are excluded "because they incur a substantial model
 # accuracy loss" (§VI-C).
 FIG2_ALGORITHMS = ("bsp", "asp", "ssp", "ar-sgd", "ad-psgd")
+
+
+def scale_worker_counts(max_workers: int) -> tuple[int, ...]:
+    """Fig-2 worker ladder extended to ``max_workers``: the paper's
+    counts below 24, then roughly-doubling steps, ending exactly at
+    ``max_workers`` (so curves to N = 10,000 stay a dozen points)."""
+    ladder = [1, 2, 4, 8, 16, 24]
+    n = 32
+    while n < max_workers:
+        ladder.append(n)
+        n *= 2
+    ladder.append(max_workers)
+    return tuple(sorted({c for c in ladder if c <= max_workers}))
 
 
 def _supports(algo: str, what: str) -> bool:
@@ -90,6 +104,8 @@ def run_fig2(
     with_optimizations: bool = True,
     seed: int = 0,
     executor: SweepExecutor | None = None,
+    analytic: bool = False,
+    max_workers: int | None = None,
 ) -> ScalabilityResult:
     """Run the Fig 2 protocol.
 
@@ -97,7 +113,15 @@ def run_fig2(
     (sharding + wait-free BP) where each algorithm supports them, as
     the paper does for this experiment. The whole grid is submitted
     through the sweep ``executor`` (parallel + cached when configured).
+
+    ``analytic=True`` swaps the discrete-event engine for the closed-form
+    models of :mod:`repro.perf` (milliseconds per cell instead of
+    minutes at large N); ``max_workers`` extends the worker ladder past
+    the paper's 24 (see :func:`scale_worker_counts`) — the combination
+    is how the fig2 curves reach N = 10,000.
     """
+    if max_workers is not None:
+        worker_counts = scale_worker_counts(max_workers)
     executor = executor or default_executor()
     profile = PROFILES[model]()
     batch = 128 if model == "resnet50" else 96
@@ -129,7 +153,13 @@ def run_fig2(
     for algo in algorithms:
         result.speedup[algo] = {}
         result.raw[algo] = {}
-    for (algo, bw, n), res in zip(cells, executor.map(configs)):
+    if analytic:
+        from repro.perf.predict import predict_run, prediction_to_result
+
+        measurements = [prediction_to_result(predict_run(cfg), cfg) for cfg in configs]
+    else:
+        measurements = executor.map(configs)
+    for (algo, bw, n), res in zip(cells, measurements):
         result.raw[algo][(bw, n)] = res
         result.speedup[algo][(bw, n)] = res.throughput / baseline
     return result

@@ -19,6 +19,7 @@ Strategies:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -175,14 +176,17 @@ def make_sharding_plan(
         for idx in range(len(profile.layers)):
             assignment[idx % num_shards].append(idx)
     elif strategy == "layerwise-greedy":
-        loads = [0] * num_shards
+        # Least-loaded heap, ties by shard id — identical assignment to
+        # a linear min-scan (first shard with the smallest load) but
+        # O(E log S) instead of O(E·S), which matters at S = 2,500.
+        heap = [(0, s) for s in range(num_shards)]
         order = sorted(
             range(len(profile.layers)), key=lambda i: profile.layers[i].params, reverse=True
         )
         for idx in order:
-            target = min(range(num_shards), key=lambda s: loads[s])
+            load, target = heapq.heappop(heap)
             assignment[target].append(idx)
-            loads[target] += profile.layers[idx].params
+            heapq.heappush(heap, (load + profile.layers[idx].params, target))
         for layer_list in assignment:
             layer_list.sort()
     else:

@@ -1,0 +1,135 @@
+"""Iteration-time span DAG.
+
+The analytic models assemble one training iteration (or synchronous
+round) as a small directed acyclic graph of *spans* — named stages
+with a duration and dependencies. Evaluating the DAG gives the
+iteration time (finish of the sink spans) and a per-category
+attribution of the critical path, mirroring what the discrete-event
+tracer measures as compute / local agg / global agg fractions — but in
+O(spans) instead of O(events).
+
+Durations here are *aggregate stage estimates* (e.g. "the PS drain of
+the slowest shard"), produced by the closed-form recursions in
+:mod:`repro.perf.models`; the DAG only handles composition, so each
+algorithm's structure stays explicit and the breakdown falls out of
+the critical path rather than being book-kept by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "IterationDag"]
+
+
+@dataclass
+class Span:
+    """One stage of the iteration: duration plus dependencies."""
+
+    name: str
+    duration: float
+    after: tuple[str, ...] = ()
+    category: str = "other"
+    # Earliest-start override: the span cannot begin before this time
+    # even if all dependencies finished earlier (e.g. a message that
+    # becomes ready at a backprop offset).
+    not_before: float = 0.0
+    start: float = field(default=0.0, init=False)
+    finish: float = field(default=0.0, init=False)
+
+
+class IterationDag:
+    """A tiny forward-evaluated span DAG with critical-path attribution.
+
+    Spans must be added after their dependencies (the natural order in
+    which the models build them); evaluation is a single forward pass.
+    """
+
+    def __init__(self) -> None:
+        self._spans: dict[str, Span] = {}
+        self._evaluated = False
+
+    def span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        after: tuple[str, ...] | list[str] = (),
+        category: str = "other",
+        not_before: float = 0.0,
+    ) -> str:
+        """Add a span; returns its name for chaining."""
+        if name in self._spans:
+            raise ValueError(f"duplicate span {name!r}")
+        if duration < 0:
+            raise ValueError(f"span {name!r} has negative duration")
+        for dep in after:
+            if dep not in self._spans:
+                raise ValueError(f"span {name!r} depends on unknown {dep!r}")
+        self._spans[name] = Span(
+            name, float(duration), tuple(after), category, float(not_before)
+        )
+        self._evaluated = False
+        return name
+
+    def _evaluate(self) -> None:
+        if self._evaluated:
+            return
+        for span in self._spans.values():
+            start = span.not_before
+            for dep in span.after:
+                start = max(start, self._spans[dep].finish)
+            span.start = start
+            span.finish = start + span.duration
+        self._evaluated = True
+
+    def finish(self, name: str) -> float:
+        self._evaluate()
+        return self._spans[name].finish
+
+    def total(self) -> float:
+        """Finish time of the whole DAG (max over spans)."""
+        self._evaluate()
+        if not self._spans:
+            return 0.0
+        return max(s.finish for s in self._spans.values())
+
+    def critical_path(self) -> list[str]:
+        """Span names along the critical path, source to sink."""
+        self._evaluate()
+        if not self._spans:
+            return []
+        cur = max(self._spans.values(), key=lambda s: s.finish)
+        path = [cur.name]
+        while True:
+            # Predecessor whose finish time gated this span's start; a
+            # not_before-gated span starts the chain.
+            gating = None
+            for dep in cur.after:
+                d = self._spans[dep]
+                if gating is None or d.finish > gating.finish:
+                    gating = d
+            if gating is None or gating.finish < cur.not_before:
+                break
+            path.append(gating.name)
+            cur = gating
+        path.reverse()
+        return path
+
+    def breakdown(self) -> dict[str, float]:
+        """Seconds attributed to each category along the critical path.
+
+        Gaps (a span waiting on its ``not_before``) are attributed to
+        the waiting span's category — matching how the tracer's phase
+        spans absorb waiting time into the phase that waits.
+        """
+        self._evaluate()
+        out: dict[str, float] = {}
+        prev_finish = 0.0
+        for name in self.critical_path():
+            span = self._spans[name]
+            seconds = span.finish - max(prev_finish, 0.0)
+            if seconds > 0:
+                out[span.category] = out.get(span.category, 0.0) + seconds
+            prev_finish = span.finish
+        return out

@@ -17,6 +17,17 @@ double-counting of serialisation). Contention at senders, receivers,
 and the PS ingress/egress emerges from the FIFO queues rather than
 being assumed — which is precisely the phenomenon behind the paper's
 finding that ASP/SSP scale *worse than BSP* on 10 Gbps (§VI-C).
+
+Hierarchical fabrics (``ClusterSpec.machines_per_rack`` set) add two
+ports per *rack* — the ToR uplink and downlink, typically
+oversubscribed — so port state stays O(machines + racks) no matter how
+many flows cross the spine. An inter-rack transfer traverses
+NIC tx → src uplink → spine → dst downlink → NIC rx; each stage is
+reserved at its first-bit arrival (cut-through), and delivery is gated
+by ``max(end_rx, end_stage + remaining latency)`` over all stages so a
+slow oversubscribed uplink correctly bottlenecks the flow. Intra-rack
+traffic never touches the ToR uplinks (non-blocking leaf backplane)
+and follows the exact flat-topology code path.
 """
 
 from __future__ import annotations
@@ -118,6 +129,21 @@ class Network:
         self._machines = spec.machines
         self._latency = spec.network_latency_s
         self._intra_latency = spec.machine.intra_latency_s
+        # Hierarchical tier: two ports per rack, O(racks) total state.
+        # ``_hier`` is the only extra cost the flat fast path pays — a
+        # single attribute check per inter-machine message.
+        self._hier = spec.hierarchical
+        if self._hier:
+            self._mpr = spec.machines_per_rack
+            self._spine_latency = spec.spine_latency
+            self._half_latency = 0.5 * spec.network_latency_s
+            up_rate = spec.uplink_bytes_per_s
+            racks = spec.num_racks
+            self.tor_up = [Port(f"r{i}.up", up_rate) for i in range(racks)]
+            self.tor_down = [Port(f"r{i}.down", up_rate) for i in range(racks)]
+        else:
+            self.tor_up = []
+            self.tor_down = []
         # Installed by the fault controller when fault injection is on.
         # Must expose ``delivery_delay(src, dst, nbytes, now, rto)``
         # returning extra seconds added to delivery (never negative),
@@ -179,6 +205,8 @@ class Network:
                 delay = self._intra_latency
             else:
                 delay = self._latency
+                if self._hier and src_machine // self._mpr != dst_machine // self._mpr:
+                    delay += self._spine_latency
                 if fault_model is not None:
                     rto = 2.0 * self._latency
                     delay += fault_model.delivery_delay(
@@ -197,6 +225,13 @@ class Network:
             if tx_done is not None:
                 engine._at(end - now, tx_done.trigger, (None, engine))
             engine._at(end + self._intra_latency - now, done.trigger, (None,))
+            return done
+
+        if self._hier and src_machine // self._mpr != dst_machine // self._mpr:
+            self._start_inter_rack(
+                src_machine, dst_machine, nbytes, done.trigger, (None,),
+                tx_done, fault_model,
+            )
             return done
 
         tx = self.tx[src_machine]
@@ -258,6 +293,8 @@ class Network:
                 delay = self._intra_latency
             else:
                 delay = self._latency
+                if self._hier and src_machine // self._mpr != dst_machine // self._mpr:
+                    delay += self._spine_latency
                 if fault_model is not None:
                     rto = 2.0 * self._latency
                     delay += fault_model.delivery_delay(
@@ -272,6 +309,12 @@ class Network:
             if self._obs_link_sample is not None:
                 self._obs_link_sample(bus, now)
             engine._at(end + self._intra_latency - now, fn, args)
+            return
+
+        if self._hier and src_machine // self._mpr != dst_machine // self._mpr:
+            self._start_inter_rack(
+                src_machine, dst_machine, nbytes, fn, args, None, fault_model
+            )
             return
 
         tx = self.tx[src_machine]
@@ -289,6 +332,103 @@ class Network:
             self._on_arrival_cb,
             (dst_machine, nbytes, fn, args),
         )
+
+    # -- hierarchical inter-rack path -----------------------------------
+    #
+    # NIC tx → ToR uplink → spine → ToR downlink → NIC rx. Each stage
+    # reserves its port at first-bit arrival (cut-through forwarding),
+    # so FIFO order at every tier is arrival order. A ``gate`` — the
+    # max over completed stages of (stage end + remaining downstream
+    # latency) — rides along; delivery is ``max(end_rx, gate)`` so the
+    # slowest tier, not the last one, bounds the flow. The edge latency
+    # is split half before / half after the ToR tier, keeping the
+    # uncontended end-to-end time at
+    # ``network_latency + spine_latency + B/bottleneck_rate``.
+
+    def _start_inter_rack(
+        self,
+        src_machine: int,
+        dst_machine: int,
+        nbytes: int,
+        fn,
+        args: tuple,
+        tx_done: Signal | None,
+        fault_model,
+    ) -> None:
+        engine = self.engine
+        now = engine.now
+        tx = self.tx[src_machine]
+        start_tx, end_tx = tx.reserve(now, nbytes)
+        if self._obs_link_sample is not None:
+            self._obs_link_sample(tx, now)
+        if tx_done is not None:
+            engine._at(end_tx - now, tx_done.trigger, (None, engine))
+        extra = 0.0
+        if fault_model is not None:
+            rto = 2.0 * (self._latency + self._spine_latency) + tx.service_time(
+                nbytes
+            )
+            extra = fault_model.delivery_delay(
+                src_machine, dst_machine, nbytes, now, rto
+            )
+        half = self._half_latency
+        gate = end_tx + half + self._spine_latency + half
+        engine._at(
+            start_tx + half + extra - now,
+            self._on_uplink,
+            (src_machine // self._mpr, dst_machine, nbytes, fn, args, gate),
+        )
+
+    def _on_uplink(
+        self, src_rack: int, dst_machine: int, nbytes: int, fn, args: tuple,
+        gate: float,
+    ) -> None:
+        engine = self.engine
+        now = engine.now
+        up = self.tor_up[src_rack]
+        start_up, end_up = up.reserve(now, nbytes)
+        if self._obs_link_sample is not None:
+            self._obs_link_sample(up, now)
+        spine = self._spine_latency
+        stage_gate = end_up + spine + self._half_latency
+        if stage_gate > gate:
+            gate = stage_gate
+        engine._at(
+            start_up + spine - now,
+            self._on_downlink,
+            (dst_machine, nbytes, fn, args, gate),
+        )
+
+    def _on_downlink(
+        self, dst_machine: int, nbytes: int, fn, args: tuple, gate: float
+    ) -> None:
+        engine = self.engine
+        now = engine.now
+        down = self.tor_down[dst_machine // self._mpr]
+        start_down, end_down = down.reserve(now, nbytes)
+        if self._obs_link_sample is not None:
+            self._obs_link_sample(down, now)
+        half = self._half_latency
+        stage_gate = end_down + half
+        if stage_gate > gate:
+            gate = stage_gate
+        engine._at(
+            start_down + half - now,
+            self._on_rx_gated,
+            (dst_machine, nbytes, fn, args, gate),
+        )
+
+    def _on_rx_gated(
+        self, dst_machine: int, nbytes: int, fn, args: tuple, gate: float
+    ) -> None:
+        engine = self.engine
+        now = engine.now
+        rx = self.rx[dst_machine]
+        _, end_rx = rx.reserve(now, nbytes)
+        if self._obs_link_sample is not None:
+            self._obs_link_sample(rx, now)
+        delivery = end_rx if end_rx > gate else gate
+        engine._at(delivery - now, fn, args)
 
     def _on_arrival_cb(self, dst_machine: int, nbytes: int, fn, args: tuple) -> None:
         """First bit reached the receiver (callback path): serialise on
@@ -316,6 +456,8 @@ class Network:
         if src_machine == dst_machine:
             return self._intra_latency
         delay = self._latency
+        if self._hier and src_machine // self._mpr != dst_machine // self._mpr:
+            delay += self._spine_latency
         fault_model = self.fault_model
         if fault_model is not None and self.engine.now < fault_model.armed_until:
             rto = 2.0 * self._latency
@@ -343,7 +485,7 @@ class Network:
         """Utilisation snapshot of every port (for analysis/tests)."""
         horizon = max(self.engine.now, 1e-12)
         stats: dict[str, dict[str, float]] = {}
-        for port in [*self.tx, *self.rx, *self.intra]:
+        for port in [*self.tx, *self.rx, *self.intra, *self.tor_up, *self.tor_down]:
             stats[port.name] = {
                 "utilization": port.utilization(horizon),
                 "bytes": float(port.bytes_served),

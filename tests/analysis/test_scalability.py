@@ -37,6 +37,18 @@ class TestSpeedupSeries:
         with pytest.raises(ValueError):
             speedup_series([], baseline_throughput=0.0)
 
+    def test_duplicate_worker_counts_average_deterministically(self):
+        """Merged multi-bandwidth series repeat N; the output must have
+        one averaged point per N regardless of input order."""
+        results = [
+            ThroughputResult(num_workers=4, measured_time=1.0, measured_images=300),
+            ThroughputResult(num_workers=4, measured_time=1.0, measured_images=500),
+            ThroughputResult(num_workers=2, measured_time=1.0, measured_images=200),
+        ]
+        series = speedup_series(results, baseline_throughput=100.0)
+        assert series == [(2, pytest.approx(2.0)), (4, pytest.approx(4.0))]
+        assert series == speedup_series(list(reversed(results)), 100.0)
+
 
 class TestCrossover:
     def test_detects_flip(self):
@@ -54,3 +66,11 @@ class TestCrossover:
         a = [(1, 1.0), (4, 3.0)]
         b = [(4, 4.0), (8, 7.0)]
         assert crossover_points(a, b) == []
+
+    def test_duplicates_average_not_last_wins(self):
+        """With duplicate N, dict(series) would keep only the last value
+        and invent (or hide) flips depending on input order."""
+        a = [(8, 10.0), (8, 2.0), (24, 5.0)]  # mean 6.0 at N=8
+        b = [(8, 5.0), (24, 6.0)]
+        assert crossover_points(a, b) == [24]
+        assert crossover_points(list(reversed(a)), b) == [24]

@@ -121,6 +121,16 @@ class TestTimingModeRun:
         result = DistributedRunner(small_timing_config("asp")).run()
         assert result.metadata["total_network_bytes"] > 0
 
+    def test_bsp_with_more_shards_than_layers(self):
+        """S > layer count leaves S − L shards empty (layerwise sharding
+        cannot split a layer). Empty shards must park — not spin the
+        round loop — and leaders must not wait for their replies.
+        Regression: BSP at N ≥ 512 (S = N/4 > 107 ResNet-50 layers)
+        used to livelock."""
+        cfg = small_timing_config("bsp", num_ps_shards=128, wait_free_bp=True)
+        result = DistributedRunner(cfg).run()
+        assert result.throughput > 0
+
 
 class TestLRSemantics:
     def test_lr_scaled_vs_local(self):

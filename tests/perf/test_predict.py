@@ -1,0 +1,137 @@
+"""Analytic fast path: accuracy (vs the engine) and speed contracts.
+
+The headline claim (ISSUE 9 / EXPERIMENTS.md) is that ``predict_run``
+agrees with discrete-event throughput within 10 % at N ≤ 64 for all
+seven algorithms at fig-2 settings, and evaluates any single config in
+well under 10 ms — including N = 10,000. The property test here draws
+a deterministic random sample of small configs (algorithm × workers ×
+bandwidth × seed) and enforces the tolerance through the same
+``cross_validate`` harness users are told to trust; the full 126-point
+calibration grid lives in benchmarks/bench_scale.py.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.experiments.config import timing_config
+from repro.experiments.scalability import scale_worker_counts
+from repro.perf import (
+    SUPPORTED_ALGORITHMS,
+    cross_validate,
+    expected_max_lognormal,
+    predict_run,
+    prediction_to_result,
+)
+
+TOLERANCE = 0.10
+
+
+def fig2_config(algorithm: str, num_workers: int, bandwidth: float, seed: int = 0):
+    """The settings the models are calibrated at (fig-2 protocol)."""
+    return timing_config(
+        algorithm,
+        num_workers=num_workers,
+        bandwidth_gbps=bandwidth,
+        measure_iters=20,
+        wait_free_bp=algorithm in ("bsp", "asp", "ssp"),
+        seed=seed,
+    )
+
+
+def sample_configs(count: int = 10):
+    """Deterministic random sample over the calibrated envelope."""
+    rng = random.Random(0)
+    cases = []
+    for _ in range(count):
+        cases.append(
+            (
+                rng.choice(list(SUPPORTED_ALGORITHMS)),
+                rng.choice([1, 2, 4, 8, 16, 24]),
+                rng.choice([10.0, 56.0]),
+                rng.choice([0, 1, 2]),
+            )
+        )
+    return cases
+
+
+@pytest.mark.parametrize("algorithm,num_workers,bandwidth,seed", sample_configs())
+def test_prediction_within_tolerance_of_engine(
+    algorithm: str, num_workers: int, bandwidth: float, seed: int
+):
+    cv = cross_validate(fig2_config(algorithm, num_workers, bandwidth, seed))
+    assert abs(cv.rel_error) <= TOLERANCE, (
+        f"{algorithm} N={num_workers} {bandwidth:g}G seed={seed}: analytic "
+        f"{cv.prediction.throughput:.1f} vs simulated "
+        f"{cv.simulated.throughput:.1f} images/s "
+        f"({cv.rel_error * 100:+.1f}% > ±{TOLERANCE * 100:.0f}%)"
+    )
+
+
+@pytest.mark.parametrize("algorithm", SUPPORTED_ALGORITHMS)
+def test_predict_reaches_ten_thousand_workers(algorithm: str):
+    """The whole point: sane, finite output at N = 10,000, quickly."""
+    cfg = fig2_config(algorithm, 10_000, 56.0)
+    t0 = time.perf_counter()
+    pred = predict_run(cfg)
+    elapsed = time.perf_counter() - t0
+    assert pred.throughput > 0
+    assert pred.iteration_time > 0
+    assert 0 < pred.speedup <= 10_000
+    assert pred.regime
+    # <10 ms is the calibrated-machine budget; allow slack for loaded
+    # CI boxes while still catching a fall back to O(N·S) behaviour.
+    assert elapsed < 0.25, f"predict_run took {elapsed * 1e3:.1f} ms"
+
+
+def test_prediction_to_result_is_engine_shaped():
+    cfg = fig2_config("bsp", 8, 10.0)
+    pred = predict_run(cfg)
+    res = prediction_to_result(pred, cfg)
+    assert res.algorithm == "bsp"
+    assert res.num_workers == 8
+    assert res.metadata["analytic"] is True
+    # throughput must round-trip through the synthetic window
+    assert res.throughput == pytest.approx(pred.throughput, rel=1e-9)
+    assert set(res.breakdown) == set(pred.breakdown)
+
+
+def test_predictions_are_deterministic():
+    cfg = fig2_config("asp", 16, 10.0)
+    a, b = predict_run(cfg), predict_run(cfg)
+    assert a.throughput == b.throughput
+    assert a.breakdown == b.breakdown
+    assert a.bounds == b.bounds
+
+
+def test_speedup_monotone_in_bandwidth():
+    """More bandwidth can only help at fixed N (throughput-bound regimes)."""
+    for algo in ("bsp", "asp", "ar-sgd"):
+        slow = predict_run(fig2_config(algo, 24, 10.0)).throughput
+        fast = predict_run(fig2_config(algo, 24, 56.0)).throughput
+        assert fast >= slow * 0.999, f"{algo}: 56G {fast:.0f} < 10G {slow:.0f}"
+
+
+def test_scale_worker_counts_ladder():
+    assert scale_worker_counts(24) == (1, 2, 4, 8, 16, 24)
+    ladder = scale_worker_counts(10_000)
+    assert ladder[0] == 1
+    assert ladder[-1] == 10_000
+    assert ladder == tuple(sorted(set(ladder)))
+    # roughly-doubling keeps curves to 10k around a dozen points
+    assert len(ladder) <= 16
+
+
+def test_expected_max_lognormal_properties():
+    import numpy as np
+
+    one = expected_max_lognormal(np.ones(1), 0.05)
+    assert one == pytest.approx(1.0, rel=1e-2)
+    many = [expected_max_lognormal(np.ones(n), 0.05) for n in (1, 2, 8, 64, 1024)]
+    assert all(b >= a for a, b in zip(many, many[1:]))  # monotone in n
+    assert expected_max_lognormal(np.ones(64), 0.0) == pytest.approx(1.0, rel=1e-6)
+    # the barrier is never shorter than the slowest mean
+    assert expected_max_lognormal(np.array([1.0, 3.0]), 0.05) >= 3.0
