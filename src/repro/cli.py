@@ -23,6 +23,7 @@ Usage::
     python -m repro run fig3 --analyze
     python -m repro train asp --workers 8 --analyze --output out.json
     python -m repro faults [--workers 8] [--scenarios crash,partition]
+    python -m repro faults --rack-scale [--scenarios rack-outage,tor-outage]
     python -m repro byzantine [--byzantine 1] [--aggregators mean,median,krum]
     python -m repro train bsp --fault-spec faults.json --fault-seed 3
     python -m repro run fig2 --fault-spec faults.json
@@ -45,7 +46,11 @@ after every sweep.
 ``faults`` runs the fault-tolerance grid: named failure scenarios
 (crash, crash-rejoin, NIC degrade, partition, packet loss) against
 every algorithm, reporting throughput retained vs the fault-free
-baseline. ``byzantine`` runs the Byzantine-resilience grid: hostile
+baseline. ``faults --rack-scale`` swaps in the rack-scale chaos
+matrix: fabric failure domains (rack outage, ToR outage, uplink
+degrade/flap, spine degrade) against the hierarchical protocol
+variants (BSP flat/tree-PS, AR-SGD ring/tree/hring) on a leaf/spine
+cluster. ``byzantine`` runs the Byzantine-resilience grid: hostile
 workers sending sign-flipped amplified gradients against every
 algorithm, one column per robust aggregation rule, reporting accuracy
 retained vs the attack-free baseline. ``--fault-spec FILE`` on
@@ -79,7 +84,9 @@ breakdown and per-station capacity bounds. ``--max-workers`` predicts
 a whole scaling curve; ``--validate`` cross-checks against the
 discrete-event engine (within 10 % at N ≤ 64). ``run fig2
 --analytic [--max-workers N]`` swaps the engine for the same models
-across the whole fig2 grid.
+across the whole fig2 grid. The models assume fault-free runs:
+``predict --fault-spec FILE`` warns and predicts as if fault-free, or
+refuses outright with ``--strict``.
 
 ``trace`` (or ``--trace-out`` on ``run``/``train``) exports a
 Chrome/Perfetto trace-event JSON of one instrumented run — load it at
@@ -210,8 +217,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated algorithm names (default: all seven)",
     )
-    faults.add_argument("--workers", type=int, default=8)
-    faults.add_argument("--iters", type=int, default=20, help="measured iterations")
+    faults.add_argument(
+        "--rack-scale",
+        action="store_true",
+        help=(
+            "run the rack-scale chaos matrix instead: fabric fault scenarios "
+            "(rack/ToR/uplink/spine) x hierarchical collectives on a "
+            "leaf/spine cluster; --scenarios/--algorithms then select fabric "
+            "scenarios and protocol-variant cells (e.g. ar-sgd/hring)"
+        ),
+    )
+    faults.add_argument(
+        "--machines-per-rack",
+        type=int,
+        default=16,
+        help="rack width for --rack-scale (default 16)",
+    )
+    faults.add_argument(
+        "--oversubscription",
+        type=float,
+        default=4.0,
+        help="ToR uplink oversubscription for --rack-scale (default 4.0)",
+    )
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count (default: 8, or 256 with --rack-scale)",
+    )
+    faults.add_argument(
+        "--iters", type=int, default=None,
+        help="measured iterations (default: 20, or 6 with --rack-scale)",
+    )
     faults.add_argument("--model", choices=("resnet50", "vgg16"), default="resnet50")
     faults.add_argument("--bandwidth", type=float, default=10.0, help="Gbps")
     faults.add_argument("--seed", type=int, default=0)
@@ -280,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     predict.add_argument("--output", type=str, default=None, help="write JSON here")
+    predict.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "refuse (exit non-zero) instead of warning when the config "
+            "carries a fault schedule the analytic models cannot honour"
+        ),
+    )
+    _add_fault_spec_args(predict)
 
     analyze = sub.add_parser(
         "analyze",
@@ -492,13 +538,46 @@ def _install_fault_spec(args: argparse.Namespace) -> "Any | None":
 
 
 def _run_faults_cmd(args: argparse.Namespace) -> tuple[str, Any]:
-    from repro.experiments.faults import FAULT_ALGORITHMS, FAULT_SCENARIOS, run_faults
+    from repro.experiments.faults import (
+        FAULT_ALGORITHMS,
+        FAULT_SCENARIOS,
+        RACK_FAULT_CELLS,
+        run_faults,
+        run_rack_faults,
+    )
 
-    kwargs: dict[str, Any] = dict(
-        num_workers=args.workers,
+    if args.rack_scale:
+        kwargs = dict(
+            num_workers=args.workers if args.workers is not None else 256,
+            machines_per_rack=args.machines_per_rack,
+            oversubscription=args.oversubscription,
+            model=args.model,
+            bandwidth_gbps=args.bandwidth,
+            measure_iters=args.iters if args.iters is not None else 6,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+        )
+        if args.scenarios:
+            kwargs["scenarios"] = tuple(s for s in args.scenarios.split(",") if s)
+        if args.algorithms:
+            wanted = [a for a in args.algorithms.split(",") if a]
+            by_label = {label: cell for cell in RACK_FAULT_CELLS
+                        for label in (cell[0],)}
+            unknown = [a for a in wanted if a not in by_label]
+            if unknown:
+                raise SystemExit(
+                    f"unknown rack-scale cells {unknown}; "
+                    f"known: {sorted(by_label)}"
+                )
+            kwargs["cells"] = tuple(by_label[a] for a in wanted)
+        result = run_rack_faults(**kwargs)
+        return result.render(), result
+
+    kwargs = dict(
+        num_workers=args.workers if args.workers is not None else 8,
         model=args.model,
         bandwidth_gbps=args.bandwidth,
-        measure_iters=args.iters,
+        measure_iters=args.iters if args.iters is not None else 20,
         seed=args.seed,
         fault_seed=args.fault_seed,
     )
@@ -711,6 +790,8 @@ def _run_predict(args: argparse.Namespace) -> int:
     from repro.experiments.scalability import _supports, scale_worker_counts
     from repro.perf import SUPPORTED_ALGORITHMS, cross_validate, predict_run
 
+    _install_fault_spec(args)
+
     name = args.algorithm.lower().replace("_", "-")
     algorithms = sorted(SUPPORTED_ALGORITHMS) if name == "all" else [name]
     unknown = [a for a in algorithms if a not in SUPPORTED_ALGORITHMS]
@@ -738,7 +819,10 @@ def _run_predict(args: argparse.Namespace) -> int:
     rows = []
     for algo in algorithms:
         for n in counts:
-            pred = predict_run(make_cfg(algo, n))
+            try:
+                pred = predict_run(make_cfg(algo, n), strict=args.strict)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
             payload["predictions"].append(pred.to_dict())
             rows.append(
                 [
@@ -761,7 +845,7 @@ def _run_predict(args: argparse.Namespace) -> int:
         )
     )
     if len(algorithms) == 1 and len(counts) == 1:
-        pred = predict_run(make_cfg(algorithms[0], counts[0]))
+        pred = predict_run(make_cfg(algorithms[0], counts[0]), strict=args.strict)
         print("\nbreakdown (critical-path seconds per round):")
         for cat, secs in sorted(pred.breakdown.items()):
             print(f"  {cat:12s} {secs:8.4f}")

@@ -21,6 +21,17 @@ oversubscribed ToR uplinks). The schedules here exploit the hierarchy:
 This module is pure scheduling — group/tree geometry with no simulator
 imports; the timed execution lives in the algorithms (AR-SGD's entry
 generators, BSP's rack aggregators).
+
+**Fault contract.** Every function here is a pure map from the *live*
+member list to geometry, and leadership is positional (first member of
+a group). That is what makes the hierarchy failure-aware for free: on
+a membership change the fault controller kills every protocol process
+and the algorithm respawns over the survivors, so groups, leader
+rings/trees, and rack aggregator parents are re-derived from scratch —
+a dead machine leader is replaced by its machine's next surviving
+worker, a dead rack drops out of the leader ring entirely, and no
+stale geometry can linger (in-flight messages from the old view are
+epoch-fenced at delivery).
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from typing import Callable, Sequence
 __all__ = [
     "machine_groups",
     "group_by",
+    "elect_leaders",
     "tree_parent",
     "tree_children",
     "DEFAULT_TREE_ARITY",
@@ -61,6 +73,17 @@ def machine_groups(
     after evictions a machine's surviving workers still form one group.
     """
     return group_by(ring, machine_of)
+
+
+def elect_leaders(groups: Sequence[Sequence[int]]) -> list[int]:
+    """The leader of each group: its first member.
+
+    Positional election is deterministic and survivor-stable — after an
+    eviction the shrunk group's new first member takes over without any
+    coordination round, because every replica derives the same groups
+    from the same live set.
+    """
+    return [group[0] for group in groups]
 
 
 def tree_parent(index: int, arity: int = DEFAULT_TREE_ARITY) -> int | None:

@@ -22,6 +22,7 @@ import numpy as np
 from repro.comm.collectives import chunk_slices, ring_allreduce_plan, ring_neighbors
 from repro.comm.hierarchical import (
     DEFAULT_TREE_ARITY,
+    elect_leaders,
     machine_groups,
     tree_children,
     tree_parent,
@@ -110,6 +111,13 @@ def _hier_allreduce_entry(
     reduce+broadcast tree ("tree"); (3) intra-machine broadcast of the
     global sum. Triggers ``done`` with the summed vector (``None`` in
     timing mode), exactly like the flat ring entry.
+
+    Groups and leaders are re-derived here, per collective, from the
+    ``ring`` the worker was (re)spawned with — so after a membership
+    change (including a mid-collective leader crash: the fault
+    controller kills and respawns every protocol process) the shrunk
+    ring re-elects leaders and rebuilds the leader ring/tree with no
+    recovery protocol of its own.
     """
     world = len(ring)
     if world == 1:
@@ -118,7 +126,7 @@ def _hier_allreduce_entry(
         yield  # pragma: no cover
     groups = machine_groups(ring, lambda w: rt.workers[w].machine)
     group = next(g for g in groups if slot.wid in g)
-    leaders = [g[0] for g in groups]
+    leaders = elect_leaders(groups)
     bpp = rt.sharding.bytes_per_param
     entry_bytes = max(num_elements * bpp, 1)
     k_up = f"hier:{entry_label}:u"

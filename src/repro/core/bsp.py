@@ -29,7 +29,7 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.comm.endpoints import Node
-from repro.comm.hierarchical import group_by
+from repro.comm.hierarchical import elect_leaders, group_by
 from repro.comm.messages import Message
 from repro.comm.ps import PSShard
 from repro.core.base import AlgorithmInfo, TrainingAlgorithm, register_algorithm
@@ -428,11 +428,18 @@ class BSP(TrainingAlgorithm):
         """
         cluster = runtime.cluster
         return group_by(
-            [g[0] for g in groups],
+            elect_leaders(groups),
             lambda w: cluster.rack_of_machine(runtime.workers[w].machine),
         )
 
     def spawn_workers(self, runtime: Runtime, wids: list[int]) -> None:
+        # Called at setup and again on every membership change with the
+        # survivor set: groups, rack aggregators, and shard fan-in are
+        # all rebuilt from ``wids``, so a crash anywhere in the PS tree
+        # (leader, whole machine, whole rack) re-parents the surviving
+        # leaders under fresh aggregators — the orphaned aggregator
+        # processes were killed with the rest of the protocol, and their
+        # epoch-stale traffic is dropped at delivery.
         groups = aggregation_groups(runtime, wids)
         agg_for_leader: dict[int, Node] = {}
         if runtime.config.ps_topology == "tree":

@@ -26,7 +26,7 @@ from repro.core.history import ThroughputResult, TrainingHistory
 from repro.core.worker import LocalComputation, WorkerSlot
 from repro.data.loader import BatchLoader
 from repro.data.partition import partition_dataset
-from repro.faults.config import FaultConfig
+from repro.faults.config import FABRIC_FAULT_KINDS, FaultConfig
 from repro.data.synthetic import (
     Dataset,
     make_gaussian_blobs,
@@ -165,19 +165,19 @@ class RunConfig:
                 raise ValueError(
                     "hierarchical collectives (tree/hring) apply to ar-sgd only"
                 )
-            if self.dgc or self.robust is not None or self.faults is not None:
+            if self.dgc or self.robust is not None:
                 raise ValueError(
                     "hierarchical collectives are incompatible with "
-                    "dgc/robust/faults (those paths use their own schedules)"
+                    "dgc/robust (those paths use their own schedules)"
                 )
         if self.ps_topology not in (None, "flat", "tree"):
             raise ValueError("ps_topology must be 'flat' or 'tree'")
         if self.ps_topology == "tree":
             if algo != "bsp":
                 raise ValueError("ps_topology='tree' applies to bsp only")
-            if self.dgc or self.robust is not None or self.faults is not None:
+            if self.dgc or self.robust is not None:
                 raise ValueError(
-                    "ps_topology='tree' is incompatible with dgc/robust/faults"
+                    "ps_topology='tree' is incompatible with dgc/robust"
                 )
         if self.measure_iters <= 0 or self.warmup_iters < 0:
             raise ValueError("invalid timing-mode iteration counts")
@@ -196,6 +196,18 @@ class RunConfig:
                     raise ValueError(
                         f"fault event targets machine {event.machine}, but the "
                         f"cluster has {self.cluster.machines} machines"
+                    )
+                if event.kind in FABRIC_FAULT_KINDS and not self.cluster.hierarchical:
+                    raise ValueError(
+                        f"{event.kind} fault events need a hierarchical "
+                        "cluster (machines_per_rack set, more than one rack)"
+                    )
+                if event.rack is not None and not (
+                    0 <= event.rack < self.cluster.num_racks
+                ):
+                    raise ValueError(
+                        f"fault event targets rack {event.rack}, but the "
+                        f"cluster has {self.cluster.num_racks} racks"
                     )
 
 

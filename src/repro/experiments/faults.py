@@ -25,6 +25,14 @@ Scenarios (event times as fractions of the baseline measured window):
 * ``flaky``         — 30 % packet loss to one machine for 30 %
   (retransmission delay, never silent loss).
 
+The **rack-scale chaos matrix** (:func:`run_rack_faults`) is the
+hierarchical complement: on a leaf/spine cluster it crosses the fabric
+fault scenarios (a whole rack dying, a ToR losing or throttling its
+uplink, a flapping uplink, spine-wide contention) with the collectives
+that actually run at that scale — BSP with flat and tree PS fan-in,
+AR-SGD with ring/tree/hring — and reports the same throughput-retained
+grid. ``repro faults --rack-scale`` drives it.
+
 All runs go through the sweep executor: baselines are cache hits when
 any other experiment ran them, and faulty runs are cached under their
 own fingerprints (``faults`` is part of the content address when set).
@@ -39,8 +47,16 @@ from repro.core.history import ThroughputResult
 from repro.experiments.config import timing_config
 from repro.experiments.executor import SweepExecutor, default_executor
 from repro.faults.config import FaultConfig, FaultEvent
+from repro.sim.cluster import hierarchical_cluster
 
-__all__ = ["FAULT_SCENARIOS", "FaultToleranceResult", "run_faults"]
+__all__ = [
+    "FAULT_SCENARIOS",
+    "RACK_FAULT_SCENARIOS",
+    "RACK_FAULT_CELLS",
+    "FaultToleranceResult",
+    "run_faults",
+    "run_rack_faults",
+]
 
 FAULT_ALGORITHMS = ("bsp", "asp", "ssp", "easgd", "ar-sgd", "gosgd", "ad-psgd")
 
@@ -103,6 +119,76 @@ FAULT_SCENARIOS = {
 }
 
 
+def _rack_outage(t0: float, racks: int) -> tuple[FaultEvent, ...]:
+    return (FaultEvent(time=0.4 * t0, kind="rack_outage", rack=racks - 1),)
+
+
+def _tor_outage(t0: float, racks: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0, kind="tor_outage", rack=racks - 1, duration=0.25 * t0
+        ),
+    )
+
+
+def _uplink_degrade(t0: float, racks: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0,
+            kind="uplink_degrade",
+            rack=racks - 1,
+            duration=0.3 * t0,
+            rate_fraction=0.1,
+        ),
+    )
+
+
+def _uplink_flap(t0: float, racks: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0,
+            kind="uplink_flap",
+            rack=racks - 1,
+            duration=0.3 * t0,
+            drop_prob=0.3,
+        ),
+    )
+
+
+def _spine_degrade(t0: float, racks: int) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            time=0.3 * t0,
+            kind="spine_degrade",
+            duration=0.3 * t0,
+            rate_fraction=0.25,
+        ),
+    )
+
+
+#: rack-scale scenario name -> (baseline_duration, num_racks) -> events.
+#: Fabric faults always target the *last* rack: the failure detector's
+#: monitor lives on machine 0 (rack 0), so hitting the far rack tests
+#: the partition-and-evict path rather than fencing off the monitor.
+RACK_FAULT_SCENARIOS = {
+    "rack-outage": _rack_outage,
+    "tor-outage": _tor_outage,
+    "uplink-degrade": _uplink_degrade,
+    "uplink-flap": _uplink_flap,
+    "spine-degrade": _spine_degrade,
+}
+
+#: Chaos-matrix columns: (label, algorithm, config overrides). One per
+#: hierarchical protocol variant, plus the flat baselines for contrast.
+RACK_FAULT_CELLS = (
+    ("bsp", "bsp", {}),
+    ("bsp/tree", "bsp", {"ps_topology": "tree"}),
+    ("ar-sgd/ring", "ar-sgd", {"collective": "ring"}),
+    ("ar-sgd/tree", "ar-sgd", {"collective": "tree"}),
+    ("ar-sgd/hring", "ar-sgd", {"collective": "hring"}),
+)
+
+
 def _detection_params(t0: float) -> dict:
     """Failure-detector settings scaled to the run length: heartbeats
     every ~0.2 % of the run, eviction after ~2 % of silence."""
@@ -125,6 +211,7 @@ class FaultToleranceResult:
     raw: dict[tuple[str, str], ThroughputResult] = field(default_factory=dict)
     retained: dict[str, dict[str, float]] = field(default_factory=dict)
     summaries: dict[tuple[str, str], dict] = field(default_factory=dict)
+    title: str = "Fault tolerance — throughput retained vs fault-free baseline"
 
     def render(self) -> str:
         headers = ["scenario", *(a.upper() for a in self.algorithms)]
@@ -136,7 +223,7 @@ class FaultToleranceResult:
         table = format_table(
             headers,
             rows,
-            title="Fault tolerance — throughput retained vs fault-free baseline",
+            title=self.title,
             float_format="{:.2f}",
         )
         notes = []
@@ -145,7 +232,14 @@ class FaultToleranceResult:
                 s = self.summaries[(scenario, algo)]
                 bits = []
                 if s["evictions"]:
-                    bits.append(f"evicted {[e['worker'] for e in s['evictions']]}")
+                    wids = [e["worker"] for e in s["evictions"]]
+                    # A correlated rack outage evicts dozens at once;
+                    # the count reads better than the roster.
+                    bits.append(
+                        f"evicted {len(wids)} workers"
+                        if len(wids) > 8
+                        else f"evicted {wids}"
+                    )
                 if s["rejoins"]:
                     bits.append(f"rejoined {[e['worker'] for e in s['rejoins']]}")
                 if s["stale_epoch_drops"]:
@@ -217,5 +311,98 @@ def run_faults(
         result.summaries[(scenario, algo)] = res.metadata["faults"]
         result.retained.setdefault(scenario, {})[algo] = (
             res.throughput / result.baseline[algo].throughput
+        )
+    return result
+
+
+def run_rack_faults(
+    *,
+    cells=RACK_FAULT_CELLS,
+    scenarios: tuple[str, ...] = tuple(RACK_FAULT_SCENARIOS),
+    num_workers: int = 256,
+    machines_per_rack: int = 16,
+    oversubscription: float = 4.0,
+    model: str = "resnet50",
+    bandwidth_gbps: float = 10.0,
+    measure_iters: int = 6,
+    warmup_iters: int = 2,
+    seed: int = 0,
+    fault_seed: int = 0,
+    executor: SweepExecutor | None = None,
+) -> FaultToleranceResult:
+    """Run the rack-scale chaos matrix (fabric scenarios × collectives).
+
+    Same two-pass structure as :func:`run_faults` — fault-free
+    baselines size each cell's event times — but on a leaf/spine
+    cluster (4 workers per machine, ``machines_per_rack`` machines per
+    ToR) and with the grid's columns being protocol *variants* (BSP
+    flat/tree-PS, AR-SGD ring/tree/hring) rather than the seven
+    algorithms. The default scale, N=256 over 4 racks, exercises a
+    correlated 64-worker rack outage mid-run.
+    """
+    unknown = set(scenarios) - set(RACK_FAULT_SCENARIOS)
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios {sorted(unknown)}; "
+            f"known: {sorted(RACK_FAULT_SCENARIOS)}"
+        )
+    machines = max(1, -(-num_workers // 4))
+    if machines <= machines_per_rack:
+        raise ValueError(
+            f"{num_workers} workers fill only {machines} machines — need more "
+            f"than one rack of {machines_per_rack} for fabric faults"
+        )
+    cluster = hierarchical_cluster(
+        machines=machines,
+        bandwidth_gbps=bandwidth_gbps,
+        machines_per_rack=machines_per_rack,
+        oversubscription=oversubscription,
+    )
+    executor = executor or default_executor()
+    cells = tuple(cells)
+    scenarios = tuple(scenarios)
+    labels = tuple(label for label, _, _ in cells)
+
+    def cell_config(algo: str, overrides: dict, faults: FaultConfig | None):
+        return timing_config(
+            algo,
+            num_workers=num_workers,
+            bandwidth_gbps=bandwidth_gbps,
+            model=model,
+            measure_iters=measure_iters,
+            warmup_iters=warmup_iters,
+            seed=seed,
+            trace=False,
+            cluster=cluster,
+            faults=faults,
+            **overrides,
+        )
+
+    result = FaultToleranceResult(
+        scenarios=scenarios,
+        algorithms=labels,
+        title=(
+            f"Rack-scale chaos matrix — throughput retained "
+            f"(N={num_workers}, {cluster.num_racks} racks)"
+        ),
+    )
+    baselines = executor.map(
+        [cell_config(algo, overrides, None) for _, algo, overrides in cells]
+    )
+    for (label, _, _), res in zip(cells, baselines):
+        result.baseline[label] = res
+
+    grid = [(s, cell) for s in scenarios for cell in cells]
+    configs = []
+    for scenario, (label, algo, overrides) in grid:
+        t0 = result.baseline[label].measured_time
+        events = RACK_FAULT_SCENARIOS[scenario](t0, cluster.num_racks)
+        faults = FaultConfig(events=events, seed=fault_seed, **_detection_params(t0))
+        configs.append(cell_config(algo, overrides, faults))
+    for (scenario, (label, _, _)), res in zip(grid, executor.map(configs)):
+        result.raw[(scenario, label)] = res
+        result.summaries[(scenario, label)] = res.metadata["faults"]
+        result.retained.setdefault(scenario, {})[label] = (
+            res.throughput / result.baseline[label].throughput
         )
     return result

@@ -23,6 +23,30 @@ Fault taxonomy (``FaultEvent.kind``):
                        retransmission latency, never as silent
                        disappearance.
 
+Fabric faults — rack- and spine-scoped events for hierarchical
+clusters (``ClusterSpec.machines_per_rack`` set). They model the
+correlated failure domains a leaf/spine deployment actually has: the
+blast radius of a ToR is its whole rack, and intra-rack traffic rides
+the non-blocking leaf backplane, so it keeps flowing while the rack's
+*uplink* misbehaves:
+
+* ``rack_outage``    — the ToR's power domain dies: every worker on
+                       every machine of ``rack`` crashes at once (the
+                       correlated analogue of ``machine_outage``).
+* ``tor_outage``     — the ToR's uplink dies for ``duration`` seconds:
+                       the rack is partitioned from the rest of the
+                       fabric (inter-rack messages held until heal +
+                       RTO) while intra-rack traffic is unaffected.
+* ``uplink_degrade`` — the rack's ToR uplink/downlink throttle to
+                       ``rate_fraction`` of nominal for ``duration``.
+* ``uplink_flap``    — the rack's uplink flaps: inter-rack messages
+                       touching the rack are each lost with
+                       ``drop_prob`` and retransmitted, for
+                       ``duration`` seconds.
+* ``spine_degrade``  — spine-tier contention: *every* rack's uplink
+                       throttles to ``rate_fraction`` for ``duration``
+                       (no ``rack``; the scope is the whole spine).
+
 Gradient (data-plane) faults — silent corruption of the gradients a
 worker produces, applied at the gradient-production hook so every
 algorithm is corruptible without per-algorithm code:
@@ -54,10 +78,21 @@ __all__ = [
     "FaultSchedule",
     "FAULT_KINDS",
     "GRAD_FAULT_KINDS",
+    "FABRIC_FAULT_KINDS",
 ]
 
 #: Data-plane fault kinds, applied to the gradients a worker produces.
 GRAD_FAULT_KINDS = ("bitflip", "grad_scale", "sign_flip", "nan_inject", "byzantine")
+
+#: Rack/spine-scoped fabric fault kinds; they require a hierarchical
+#: cluster (``ClusterSpec.machines_per_rack`` set).
+FABRIC_FAULT_KINDS = (
+    "rack_outage",
+    "tor_outage",
+    "uplink_degrade",
+    "uplink_flap",
+    "spine_degrade",
+)
 
 FAULT_KINDS = (
     "crash",
@@ -65,6 +100,7 @@ FAULT_KINDS = (
     "link_degrade",
     "partition",
     "drop",
+    *FABRIC_FAULT_KINDS,
     *GRAD_FAULT_KINDS,
 )
 
@@ -85,6 +121,9 @@ class FaultEvent:
     # fingerprint when unset so pre-existing faulty-config content
     # addresses stay valid.
     scale: float | None = field(default=None, metadata={"fingerprint": "omit-if-none"})
+    # Target rack for the fabric fault kinds; same omit-if-none
+    # discipline — flat-scoped schedules keep their content addresses.
+    rack: int | None = field(default=None, metadata={"fingerprint": "omit-if-none"})
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -99,17 +138,37 @@ class FaultEvent:
             self.machine is None
         ):
             raise ValueError(f"{self.kind} events need a machine")
-        if self.kind in ("link_degrade", "partition", "drop", "grad_scale", "sign_flip"):
+        if self.kind in FABRIC_FAULT_KINDS:
+            if self.kind == "spine_degrade":
+                if self.rack is not None:
+                    raise ValueError(
+                        "spine_degrade is fabric-wide; it takes no rack"
+                    )
+            elif self.rack is None:
+                raise ValueError(f"{self.kind} events need a rack")
+        elif self.rack is not None:
+            raise ValueError("rack only applies to fabric fault events")
+        if self.kind in (
+            "link_degrade",
+            "partition",
+            "drop",
+            "tor_outage",
+            "uplink_degrade",
+            "uplink_flap",
+            "spine_degrade",
+            "grad_scale",
+            "sign_flip",
+        ):
             if self.duration is None or self.duration <= 0:
                 raise ValueError(f"{self.kind} events need a positive duration")
         if self.kind == "byzantine" and self.duration is not None and self.duration <= 0:
             raise ValueError("byzantine duration, when given, must be positive")
-        if self.kind == "link_degrade":
+        if self.kind in ("link_degrade", "uplink_degrade", "spine_degrade"):
             if self.rate_fraction is None or not 0 < self.rate_fraction <= 1:
-                raise ValueError("link_degrade needs rate_fraction in (0, 1]")
-        if self.kind == "drop":
+                raise ValueError(f"{self.kind} needs rate_fraction in (0, 1]")
+        if self.kind in ("drop", "uplink_flap"):
             if self.drop_prob is None or not 0 <= self.drop_prob < 1:
-                raise ValueError("drop needs drop_prob in [0, 1)")
+                raise ValueError(f"{self.kind} needs drop_prob in [0, 1)")
         if self.rejoin_after is not None:
             if self.kind != "crash":
                 raise ValueError("rejoin_after only applies to crash events")

@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.comm.endpoints import HEARTBEAT_BYTES, Node
 from repro.faults.checkpoint import capture_snapshot, restore_snapshot
-from repro.faults.config import GRAD_FAULT_KINDS, FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.config import (
+    FABRIC_FAULT_KINDS,
+    GRAD_FAULT_KINDS,
+    FaultConfig,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.faults.gradfaults import GradFaultModel
 from repro.faults.membership import Membership
 from repro.faults.netfaults import LinkFaultModel
@@ -52,6 +58,10 @@ __all__ = ["FaultController"]
 # Mixed into the RNG seed sequence so the fault stream never collides
 # with the data/compute/jitter streams derived from the run seed.
 _RNG_STREAM_TAG = 0xFA017
+
+# Event kinds that arm the link-fault model on the network (anything
+# that manifests as held or retransmitted messages).
+_LINK_FAULT_KINDS = ("partition", "drop", "tor_outage", "uplink_flap")
 
 
 class FaultController:
@@ -80,14 +90,18 @@ class FaultController:
             if len(self.schedule)
             else None
         )
+        self._validate_events(runtime)
         self.membership = Membership(range(runtime.config.num_workers))
         self.link_model = LinkFaultModel(self.rng)
         self.grad_model = GradFaultModel(self.rng)
+        cluster = runtime.config.cluster
+        if cluster.hierarchical:
+            self.link_model.rack_of = cluster.rack_of_machine
         # Only schedules containing link events can ever arm the model;
         # leaving ``network.fault_model`` unset otherwise keeps every
         # transfer on the bare (faults-off) guard. Same idea for the
         # per-gradient corruption hook.
-        if any(e.kind in ("partition", "drop") for e in self.schedule):
+        if any(e.kind in _LINK_FAULT_KINDS for e in self.schedule):
             runtime.ctx.network.fault_model = self.link_model
         self._grad_armed = any(e.kind in GRAD_FAULT_KINDS for e in self.schedule)
         # Processes owned by the training protocol: killed wholesale on
@@ -108,6 +122,57 @@ class FaultController:
         self.quarantines: list[dict] = []
         self.events_applied: list[FaultEvent] = []
         self.iterations_lost = 0
+
+    def _validate_events(self, runtime: "Runtime") -> None:
+        """Reject events that cannot touch this cluster.
+
+        RunConfig validates worker/machine/rack ranges at construction,
+        but a FaultConfig can reach the controller by other routes
+        (direct instantiation, ``dataclasses.replace`` on internals), so
+        the controller re-checks at start — an out-of-range or
+        no-op-by-construction event is a spec bug, never a silent pass.
+        """
+        cfg = runtime.config
+        cluster = cfg.cluster
+        for event in self.schedule:
+            if event.worker is not None and not (
+                0 <= event.worker < cfg.num_workers
+            ):
+                raise ValueError(
+                    f"fault event targets worker {event.worker}, but the run "
+                    f"has {cfg.num_workers} workers"
+                )
+            if event.machine is not None and not (
+                0 <= event.machine < cluster.machines
+            ):
+                raise ValueError(
+                    f"fault event targets machine {event.machine}, but the "
+                    f"cluster has {cluster.machines} machines"
+                )
+            if event.kind in FABRIC_FAULT_KINDS and not cluster.hierarchical:
+                raise ValueError(
+                    f"{event.kind} events need a hierarchical cluster "
+                    "(machines_per_rack set and more than one rack)"
+                )
+            if event.rack is not None and not 0 <= event.rack < cluster.num_racks:
+                raise ValueError(
+                    f"fault event targets rack {event.rack}, but the cluster "
+                    f"has {cluster.num_racks} racks"
+                )
+            if event.kind == "machine_outage" and not any(
+                slot.machine == event.machine for slot in runtime.workers
+            ):
+                raise ValueError(
+                    f"machine_outage targets machine {event.machine}, which "
+                    "hosts no workers — the event would be a silent no-op"
+                )
+            if event.kind == "rack_outage":
+                machines = set(cluster.machines_of_rack(event.rack))
+                if not any(slot.machine in machines for slot in runtime.workers):
+                    raise ValueError(
+                        f"rack_outage targets rack {event.rack}, which hosts "
+                        "no workers — the event would be a silent no-op"
+                    )
 
     # -- registration ----------------------------------------------------
     def register(self, process: Process, owner: int | None) -> None:
@@ -306,10 +371,66 @@ class FaultController:
             self.link_model.set_drop(
                 event.machine, self.rt.engine.now + event.duration, event.drop_prob
             )
+        elif event.kind == "rack_outage":
+            # Correlated crash: every worker under the ToR dies at once.
+            # Detection is honest, like a single crash — the whole
+            # rack's heartbeats go silent and the monitor evicts the
+            # batch within one suspicion cycle.
+            assert event.rack is not None
+            self._record("rack_outage", detail=f"rack={event.rack}")
+            machines = set(self.rt.config.cluster.machines_of_rack(event.rack))
+            for slot in self.rt.workers:
+                if slot.machine in machines:
+                    self._crash(slot.wid)
+        elif event.kind == "tor_outage":
+            assert event.rack is not None and event.duration is not None
+            self._record(
+                "tor_outage",
+                detail=f"rack={event.rack} duration={event.duration}",
+            )
+            self.link_model.rack_partition(
+                event.rack, self.rt.engine.now + event.duration
+            )
+        elif event.kind == "uplink_degrade":
+            assert event.rack is not None and event.rate_fraction is not None
+            self._record(
+                "uplink_degrade",
+                detail=f"rack={event.rack} fraction={event.rate_fraction}",
+            )
+            self.rt.ctx.network.scale_rack_uplink(event.rack, event.rate_fraction)
+            assert event.duration is not None
+            self.rt.engine._schedule(
+                event.duration, lambda r=event.rack: self._restore_uplink(r)
+            )
+        elif event.kind == "uplink_flap":
+            assert event.rack is not None and event.drop_prob is not None
+            assert event.duration is not None
+            self._record(
+                "uplink_flap",
+                detail=f"rack={event.rack} prob={event.drop_prob}",
+            )
+            self.link_model.set_rack_drop(
+                event.rack, self.rt.engine.now + event.duration, event.drop_prob
+            )
+        elif event.kind == "spine_degrade":
+            assert event.rate_fraction is not None and event.duration is not None
+            self._record(
+                "spine_degrade", detail=f"fraction={event.rate_fraction}"
+            )
+            self.rt.ctx.network.scale_spine(event.rate_fraction)
+            self.rt.engine._schedule(event.duration, self._restore_spine)
 
     def _restore_rate(self, machine: int) -> None:
         self.rt.ctx.network.scale_machine_rate(machine, 1.0)
         self._record("link_restore", machine=machine)
+
+    def _restore_uplink(self, rack: int) -> None:
+        self.rt.ctx.network.scale_rack_uplink(rack, 1.0)
+        self._record("uplink_restore", detail=f"rack={rack}")
+
+    def _restore_spine(self) -> None:
+        self.rt.ctx.network.scale_spine(1.0)
+        self._record("spine_restore")
 
     # -- gradient corruption ---------------------------------------------
     def corrupt_gradient(self, slot: "WorkerSlot", grad):

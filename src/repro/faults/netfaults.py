@@ -7,9 +7,20 @@ every synchronous protocol with no real-world justification. The port
 reservations themselves are untouched — reservation times stay
 monotone, which the O(1) analytic :class:`~repro.sim.network.Port`
 requires.
+
+The model is hierarchy-aware: on a fabric with racks it resolves
+machine → rack (``rack_of``, installed by the fault controller) and
+keeps *rack-scoped* partition and drop windows alongside the
+machine-scoped ones. Rack windows apply only to messages that cross
+the rack boundary — a ToR outage severs the uplink while the
+non-blocking leaf backplane keeps intra-rack traffic flowing, which is
+exactly what makes correlated rack failures different from N machine
+partitions.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +41,14 @@ class LinkFaultModel:
         self.partitioned_until: dict[int, float] = {}
         # machine (or None = every link) -> (until, drop probability)
         self.drop_until: dict[int | None, tuple[float, float]] = {}
+        # Rack-scoped windows (tor_outage / uplink_flap). Consulted only
+        # for messages whose endpoints resolve to *different* racks.
+        self.rack_partitioned_until: dict[int, float] = {}
+        self.rack_drop_until: dict[int, tuple[float, float]] = {}
+        # machine -> rack resolver; installed by the fault controller on
+        # hierarchical fabrics, None on flat ones (rack windows are then
+        # unreachable — RunConfig validation rejects fabric events).
+        self.rack_of: Callable[[int], int] | None = None
         self.messages_delayed = 0
         self.retransmits = 0
         # End of the latest window ever armed. ``Network.transfer``
@@ -50,6 +69,21 @@ class LinkFaultModel:
         self.drop_until[machine] = (until, prob)
         self.armed_until = max(self.armed_until, until)
 
+    def rack_partition(self, rack: int, until: float) -> None:
+        """Sever the rack's uplink: inter-rack messages touching the
+        rack are held until ``until`` (+ one RTO); intra-rack traffic
+        is untouched."""
+        self.rack_partitioned_until[rack] = max(
+            until, self.rack_partitioned_until.get(rack, 0.0)
+        )
+        self.armed_until = max(self.armed_until, until)
+
+    def set_rack_drop(self, rack: int, until: float, prob: float) -> None:
+        """Flapping uplink: inter-rack messages touching the rack are
+        each lost with ``prob`` (and retransmitted) until ``until``."""
+        self.rack_drop_until[rack] = (until, prob)
+        self.armed_until = max(self.armed_until, until)
+
     # -- the Network.transfer hook ---------------------------------------
     def delivery_delay(
         self, src: int, dst: int, nbytes: int, now: float, rto: float
@@ -67,6 +101,36 @@ class LinkFaultModel:
                 del self.partitioned_until[machine]
 
         prob = self._drop_prob(src, dst, now)
+
+        # Rack-scoped windows: resolved machine → rack, applied only
+        # across the rack boundary. Flat schedules never arm these, so
+        # the extra work (and any RNG draw reordering) is unreachable
+        # on pre-fabric runs — their digests are untouched.
+        if (
+            self.rack_of is not None
+            and (self.rack_partitioned_until or self.rack_drop_until)
+        ):
+            src_rack = self.rack_of(src)
+            dst_rack = self.rack_of(dst)
+            if src_rack != dst_rack:
+                for rack in (src_rack, dst_rack):
+                    heal = self.rack_partitioned_until.get(rack)
+                    if heal is None:
+                        continue
+                    if now < heal:
+                        extra = max(extra, heal - now + rto)
+                    else:
+                        del self.rack_partitioned_until[rack]
+                for rack in (src_rack, dst_rack):
+                    window = self.rack_drop_until.get(rack)
+                    if window is None:
+                        continue
+                    until, p = window
+                    if now < until:
+                        prob = max(prob, p)
+                    else:
+                        del self.rack_drop_until[rack]
+
         if prob > 0.0:
             retries = 0
             while retries < _MAX_RETRIES and self.rng.random() < prob:

@@ -14,7 +14,9 @@ before its analytic curves are trusted.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.history import ThroughputResult
@@ -74,8 +76,24 @@ def ideal_single_worker_throughput(config: RunConfig) -> float:
     return config.batch_size / base
 
 
-def predict_run(config: RunConfig) -> Prediction:
-    """Analytic fast-path counterpart of ``execute_run`` (timing mode)."""
+def predict_run(config: RunConfig, *, strict: bool = False) -> Prediction:
+    """Analytic fast-path counterpart of ``execute_run`` (timing mode).
+
+    The closed-form models assume a fault-free run; a configured
+    :class:`~repro.faults.FaultConfig` cannot be honoured analytically.
+    Rather than silently predicting the wrong thing, a faulted config
+    warns and is predicted *as if fault-free* (default), or raises
+    (``strict=True``).
+    """
+    if config.faults is not None:
+        msg = (
+            "predict_run ignores config.faults: the analytic models assume a "
+            "fault-free run — use execute_run to simulate fault schedules"
+        )
+        if strict:
+            raise ValueError(msg)
+        warnings.warn(msg, stacklevel=2)
+        config = dataclasses.replace(config, faults=None)
     t0 = time.perf_counter()
     est: PerfEstimate = estimate_iteration(config)
     baseline = ideal_single_worker_throughput(config)

@@ -190,6 +190,17 @@ class ClusterSpec:
             return 0
         return machine // self.machines_per_rack
 
+    def machines_of_rack(self, rack: int) -> list[int]:
+        """Machine indices hosted by ``rack`` (block placement) — the
+        blast radius of a ToR-level fault."""
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range")
+        if not self.machines_per_rack:
+            return list(range(self.machines))
+        lo = rack * self.machines_per_rack
+        hi = min(lo + self.machines_per_rack, self.machines)
+        return list(range(lo, hi))
+
     def machine_of_worker(self, worker: int) -> int:
         """Machine index hosting ``worker`` (block placement)."""
         if not 0 <= worker < self.total_gpus:

@@ -141,6 +141,12 @@ class Network:
             racks = spec.num_racks
             self.tor_up = [Port(f"r{i}.up", up_rate) for i in range(racks)]
             self.tor_down = [Port(f"r{i}.down", up_rate) for i in range(racks)]
+            # Per-rack and fabric-wide degrade factors compose
+            # multiplicatively, so an uplink_degrade window restoring
+            # mid-spine_degrade (or vice versa) cannot clobber the
+            # other's effect.
+            self._uplink_frac = [1.0] * racks
+            self._spine_frac = 1.0
         else:
             self.tor_up = []
             self.tor_down = []
@@ -161,6 +167,37 @@ class Network:
         rate = self.spec.network_bytes_per_s * fraction
         self.tx[machine].rate = rate
         self.rx[machine].rate = rate
+
+    def scale_rack_uplink(self, rack: int, fraction: float) -> None:
+        """Degrade (or restore, with 1.0) one rack's ToR uplink and
+        downlink to ``fraction`` of nominal. Hierarchical fabrics only."""
+        if not self._hier:
+            raise ValueError("no ToR uplinks on a flat fabric")
+        if not 0 < fraction:
+            raise ValueError("rate fraction must be positive")
+        self._uplink_frac[rack] = fraction
+        self._apply_tor_rate(rack)
+
+    def scale_spine(self, fraction: float) -> None:
+        """Degrade (or restore) the spine tier: every rack's uplink and
+        downlink scale by ``fraction`` (contention at the spine shows
+        up as slower ToR ports)."""
+        if not self._hier:
+            raise ValueError("no spine tier on a flat fabric")
+        if not 0 < fraction:
+            raise ValueError("rate fraction must be positive")
+        self._spine_frac = fraction
+        for rack in range(len(self.tor_up)):
+            self._apply_tor_rate(rack)
+
+    def _apply_tor_rate(self, rack: int) -> None:
+        rate = (
+            self.spec.uplink_bytes_per_s
+            * self._uplink_frac[rack]
+            * self._spine_frac
+        )
+        self.tor_up[rack].rate = rate
+        self.tor_down[rack].rate = rate
 
     def transfer(
         self,

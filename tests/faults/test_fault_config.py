@@ -3,6 +3,7 @@
 import pytest
 
 from repro.faults.config import (
+    FABRIC_FAULT_KINDS,
     FAULT_KINDS,
     GRAD_FAULT_KINDS,
     FaultConfig,
@@ -19,13 +20,20 @@ class TestFaultEventValidation:
             "link_degrade",
             "partition",
             "drop",
-        } | set(GRAD_FAULT_KINDS)
+        } | set(GRAD_FAULT_KINDS) | set(FABRIC_FAULT_KINDS)
         assert set(GRAD_FAULT_KINDS) == {
             "bitflip",
             "grad_scale",
             "sign_flip",
             "nan_inject",
             "byzantine",
+        }
+        assert set(FABRIC_FAULT_KINDS) == {
+            "rack_outage",
+            "tor_outage",
+            "uplink_degrade",
+            "uplink_flap",
+            "spine_degrade",
         }
 
     def test_unknown_kind_rejected(self):

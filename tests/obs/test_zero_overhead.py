@@ -21,6 +21,14 @@ from repro.obs import ObsConfig
 
 from tests.conftest import small_full_config, small_timing_config
 
+def _two_racks():
+    from repro.sim.cluster import hierarchical_cluster
+
+    return hierarchical_cluster(
+        machines=8, machines_per_rack=4, bandwidth_gbps=10
+    )
+
+
 # Seed fingerprints pinned before the observability layer existed.
 PINNED = {
     "timing": (
@@ -76,6 +84,54 @@ class TestFingerprintStability:
             ),
         )
         assert config_fingerprint(refaulted) != fp
+
+    def test_rack_none_is_omitted_from_event_fingerprint(self):
+        """``FaultEvent.rack=None`` (the default) must hash identically
+        to an event minted before the fabric-fault kinds existed — the
+        rack-failure-domain PR must not invalidate any cached faulted
+        sweep. The digest below was pinned before ``rack`` was added."""
+        from repro.faults.config import FaultConfig, FaultEvent
+
+        faulted = timing_config(
+            "bsp",
+            num_workers=8,
+            measure_iters=5,
+            faults=FaultConfig(
+                events=(
+                    FaultEvent(time=0.05, kind="crash", worker=3),
+                    FaultEvent(time=0.02, kind="partition", machine=1,
+                               duration=0.01),
+                ),
+                seed=7,
+                heartbeat_interval=0.01,
+                heartbeat_timeout=0.02,
+                backoff_factor=1.0,
+                max_suspect_rounds=0,
+            ),
+        )
+        assert config_fingerprint(faulted) == (
+            "0c2fff6805ca8a70888caf12c52c6b9986c8395253477be8d5ede8c7048b01e6"
+        )
+
+    def test_rack_changes_event_fingerprint(self):
+        from repro.faults.config import FaultConfig, FaultEvent
+
+        def fp(rack):
+            return config_fingerprint(
+                timing_config(
+                    "bsp",
+                    num_workers=32,
+                    faults=FaultConfig(
+                        events=(
+                            FaultEvent(time=0.1, kind="rack_outage",
+                                       rack=rack),
+                        ),
+                    ),
+                    cluster=_two_racks(),
+                )
+            )
+
+        assert fp(0) != fp(1)
 
     def test_robust_none_is_omitted_from_fingerprint(self):
         """``robust=None`` (the default) must hash identically to a
